@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one of the paper's figures at reduced
+operation counts (the simulator is deterministic, so means converge with
+far fewer samples than the paper's 1000 ops/point).  Paper-scale runs:
+``python -m repro.bench <figure> --full``.
+"""
+
+import pytest
+
+#: Reduced op count shared by the figure benchmarks.
+BENCH_OPS = 20
+
+
+@pytest.fixture(scope="session")
+def bench_ops():
+    return BENCH_OPS

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a NICE cluster, store and fetch objects.
+
+Builds the paper's deployment (§6) in a simulator — 15 storage nodes, a
+metadata service, an OpenFlow switch programmed by the NICE controller —
+then performs a few puts and gets through the virtual rings and shows what
+the network did (single-hop routing, switch-level multicast replication).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ClusterConfig, NiceCluster
+
+
+def main() -> None:
+    config = ClusterConfig(
+        n_storage_nodes=15,   # §6 platform: 15 storage + 1 metadata node
+        n_clients=2,
+        replication_level=3,  # §6 default
+    )
+    cluster = NiceCluster(config)
+    cluster.warm_up()  # let the controller's flow-mods land
+
+    client = cluster.clients[0]
+    results = {}
+
+    def workload(sim):
+        # A put is multicast by the switch to the whole replica set and
+        # committed with the NICE-2PC protocol (Fig 3).
+        put = yield client.put("hello", value="world", size=1024)
+        results["put"] = put
+
+        # A get is rewritten in-network to the responsible replica: a
+        # single hop, no gateway, no client-side placement metadata.
+        get = yield client.get("hello")
+        results["get"] = get
+
+        # Overwrites are ordered by the primary's commit timestamp.
+        yield client.put("hello", value="world v2", size=1024)
+        results["get2"] = yield client.get("hello")
+
+    cluster.sim.process(workload(cluster.sim))
+    cluster.sim.run(until=10.0)
+
+    put, get, get2 = results["put"], results["get"], results["get2"]
+    print(f"put('hello')  -> ok={put.ok}  latency={put.latency * 1e3:.3f} ms")
+    print(f"get('hello')  -> {get.value!r}  latency={get.latency * 1e3:.3f} ms")
+    print(f"after update  -> {get2.value!r}")
+
+    replicas = cluster.replica_nodes("hello")
+    print(f"\nreplica set: {[n.name for n in replicas]}")
+    for node in replicas:
+        obj = node.store.get("hello")
+        print(f"  {node.name}: value={obj.value!r} stamp={obj.stamp.primary_ts:.6f}")
+
+    print(f"\nswitch rules installed: {len(cluster.switch.table)}")
+    print(f"multicast groups:       {len(cluster.switch.groups)}")
+    print(f"vring entries (§4.6):   {cluster.controller.rule_count()}")
+
+
+if __name__ == "__main__":
+    main()

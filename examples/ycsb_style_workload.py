@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""YCSB-style comparison: NICE vs two NOOB configurations (Fig 12).
+
+Runs YCSB workload F (read-modify-write, zipfian popularity, 1 KB objects)
+with several concurrent clients on three systems and prints the throughput
+table the paper's Fig 12 plots.
+
+Run:  python examples/ycsb_style_workload.py
+"""
+
+import numpy as np
+
+from repro.bench import build_nice, build_noob, run_to_completion
+from repro.workloads import WORKLOADS, YcsbRunner
+
+N_CLIENTS = 6
+OPS_PER_CLIENT = 150
+N_RECORDS = 300
+
+
+def run(system_name: str, builder) -> dict:
+    cluster = builder()
+    runner = YcsbRunner(
+        WORKLOADS["F"], n_records=N_RECORDS, rng=np.random.default_rng(7)
+    )
+    proc = runner.run(cluster.clients[:N_CLIENTS], cluster.sim, OPS_PER_CLIENT)
+    stats = run_to_completion(cluster, proc)
+    return {
+        "system": system_name,
+        "ops/s": stats["throughput_ops_s"],
+        "mean ms": runner.op_latency.mean * 1e3,
+        "p99 ms": runner.op_latency.percentile(99) * 1e3,
+        "errors": stats["errors"],
+    }
+
+
+def main() -> None:
+    systems = [
+        ("NICE", lambda: build_nice(n_storage_nodes=15, n_clients=N_CLIENTS)),
+        (
+            "NOOB primary-only (RAC)",
+            lambda: build_noob(
+                n_storage_nodes=15, n_clients=N_CLIENTS,
+                access="rac", consistency="primary",
+            ),
+        ),
+        (
+            "NOOB 2PC (RAG gateway)",
+            lambda: build_noob(
+                n_storage_nodes=15, n_clients=N_CLIENTS,
+                access="rag", consistency="2pc",
+            ),
+        ),
+    ]
+    rows = [run(name, builder) for name, builder in systems]
+    header = f"{'system':<26} {'ops/s':>10} {'mean ms':>9} {'p99 ms':>9} {'errors':>7}"
+    print(f"YCSB F — {N_CLIENTS} clients x {OPS_PER_CLIENT} ops, zipfian, 1 KB\n")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['system']:<26} {r['ops/s']:>10.0f} {r['mean ms']:>9.3f} "
+            f"{r['p99 ms']:>9.3f} {r['errors']:>7d}"
+        )
+    nice = rows[0]["ops/s"]
+    print()
+    for r in rows[1:]:
+        print(f"NICE is {nice / r['ops/s']:.2f}x faster than {r['system']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Reproduction of *NICE: Network-Integrated Cluster-Efficient Storage*
+(Al-Kiswany et al., HPDC 2017) on a deterministic discrete-event simulator.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,48 @@
+"""Benchmark harness: one experiment per paper figure plus ablations.
+
+Run ``python -m repro.bench all`` (or ``nice-bench``) to regenerate them.
+"""
+
+from .ablations import (
+    ablation_chain_replication,
+    ablation_deployment,
+    ablation_lb_rules,
+    ablation_membership_maintenance,
+    ablation_software_rewrite,
+)
+from .figures import (
+    fig4_request_routing,
+    fig5_6_7_replication,
+    fig8_quorum,
+    fig9_consistency,
+    fig10_load_balancing,
+    fig11_fault_tolerance,
+    fig12_ycsb,
+    sec46_switch_scalability,
+)
+from .harness import ExperimentResult, build_nice, build_noob, run_to_completion
+from .report import ascii_chart, format_result, format_table, ratio_summary
+
+__all__ = [
+    "ExperimentResult",
+    "ablation_chain_replication",
+    "ablation_deployment",
+    "ablation_lb_rules",
+    "ablation_membership_maintenance",
+    "ablation_software_rewrite",
+    "ascii_chart",
+    "build_nice",
+    "build_noob",
+    "fig10_load_balancing",
+    "fig11_fault_tolerance",
+    "fig12_ycsb",
+    "fig4_request_routing",
+    "fig5_6_7_replication",
+    "fig8_quorum",
+    "fig9_consistency",
+    "format_result",
+    "format_table",
+    "ratio_summary",
+    "run_to_completion",
+    "sec46_switch_scalability",
+]

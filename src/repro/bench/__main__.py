@@ -1,0 +1,142 @@
+"""CLI: regenerate any figure of the paper.
+
+Examples::
+
+    python -m repro.bench fig5                 # quick scale
+    python -m repro.bench fig5 --full          # paper scale (1000 ops/point)
+    python -m repro.bench all --ops 100
+    nice-bench fig12 --ops 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ablations, figures
+from .report import ascii_chart, format_result, ratio_summary
+
+
+def _chart_for(name: str, result):
+    """Text rendering of figure-shaped results (series over an x axis)."""
+    if name == "fig11":
+        series = {
+            "gets/s": [(r["t_s"], r["gets_per_s"]) for r in result.rows],
+            "puts/s": [(r["t_s"], r["puts_per_s"]) for r in result.rows],
+        }
+        return ascii_chart(series, title="Fig 11 — served requests/s over time")
+    if name in ("fig4", "fig5"):
+        metric = "get_ms" if name == "fig4" else "put_ms"
+        import math
+
+        series = {}
+        for row in result.rows:
+            series.setdefault(row["system"], []).append(
+                (math.log2(row["size_bytes"]), row[metric])
+            )
+        return ascii_chart(
+            series, title=f"{name} — {metric} vs log2(object size)"
+        )
+    return None
+
+#: experiment id -> (runner(n_ops), summary spec or None)
+def _registry(n_ops: int, full: bool):
+    ycsb_ops = 20000 if full else max(n_ops, 50)
+    return {
+        "fig4": (
+            lambda: figures.fig4_request_routing(n_ops=n_ops),
+            ("get_ms", "NICE", ["size_bytes"]),
+        ),
+        "fig5": (
+            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig5"],
+            ("put_ms", "NICE", ["size_bytes"]),
+        ),
+        "fig6": (
+            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig6"],
+            ("link_bytes_per_op", "NICE", ["size_bytes"]),
+        ),
+        "fig7": (
+            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig7"],
+            None,
+        ),
+        "fig8": (
+            lambda: figures.fig8_quorum(n_ops=max(n_ops // 10, 5)),
+            ("put_ms", "NICE", ["quorum"]),
+        ),
+        "fig9": (
+            lambda: figures.fig9_consistency(n_ops=n_ops),
+            ("put_ms", "NICE", ["replication", "size_bytes"]),
+        ),
+        "fig10": (
+            lambda: figures.fig10_load_balancing(n_ops=max(n_ops // 2, 10)),
+            ("op_ms", "NICE", ["replication", "size_bytes"]),
+        ),
+        "fig11": (lambda: figures.fig11_fault_tolerance(), None),
+        "fig12": (
+            lambda: figures.fig12_ycsb(n_ops_per_client=ycsb_ops),
+            ("mean_op_ms", "NICE", ["workload"]),
+        ),
+        "sec46": (lambda: figures.sec46_switch_scalability(), None),
+        "ablation-chain": (lambda: ablations.ablation_chain_replication(), None),
+        "ablation-lb": (lambda: ablations.ablation_lb_rules(), None),
+        "ablation-membership": (
+            lambda: ablations.ablation_membership_maintenance(),
+            None,
+        ),
+        "ablation-deployment": (lambda: ablations.ablation_deployment(), None),
+        "ablation-sw-rewrite": (lambda: ablations.ablation_software_rewrite(), None),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nice-bench",
+        description="Regenerate the figures of NICE (HPDC 2017) on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        help="fig4..fig12, sec46, ablation-*, or 'all'",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=100,
+        help="operations per data point (default 100; paper uses 1000)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale run (1000 ops/point, 20K YCSB ops/client)",
+    )
+    args = parser.parse_args(argv)
+    n_ops = 1000 if args.full else args.ops
+    registry = _registry(n_ops, args.full)
+
+    wanted = args.experiment
+    if "all" in wanted:
+        wanted = list(registry)
+    unknown = [w for w in wanted if w not in registry]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in wanted:
+        runner, summary = registry[name]
+        t0 = time.time()
+        result = runner()
+        elapsed = time.time() - t0
+        print(format_result(result))
+        chart = _chart_for(name, result)
+        if chart:
+            print(chart)
+        if summary is not None:
+            metric, baseline, groups = summary
+            text = ratio_summary(result, metric, baseline, group_cols=groups)
+            if text:
+                print("summary:")
+                for line in text.splitlines():
+                    print(f"  {line}")
+        print(f"({elapsed:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Shared experiment plumbing for the per-figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core import ClusterConfig, NiceCluster
+from ..noob import NoobCluster, NoobConfig
+
+__all__ = ["ExperimentResult", "build_nice", "build_noob", "run_to_completion"]
+
+#: Hard ceiling on simulated seconds per experiment leg (safety net).
+MAX_HORIZON_S = 100_000.0
+
+
+@dataclass
+class ExperimentResult:
+    """One figure's regenerated data: rows of named columns plus notes."""
+
+    name: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    series_label: str = "system"
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str, where: Optional[Dict[str, Any]] = None) -> List[Any]:
+        out = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            out.append(row.get(name))
+        return out
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def build_nice(**overrides) -> NiceCluster:
+    """A warmed NICE cluster with the paper's §6 defaults."""
+    cfg = ClusterConfig(**overrides)
+    cluster = NiceCluster(cfg)
+    cluster.warm_up()
+    return cluster
+
+
+def build_noob(**overrides) -> NoobCluster:
+    """A warmed NOOB cluster with the paper's §6 defaults."""
+    cfg = NoobConfig(**overrides)
+    cluster = NoobCluster(cfg)
+    cluster.warm_up()
+    return cluster
+
+
+def run_to_completion(cluster, process, horizon_s: float = MAX_HORIZON_S):
+    """Drive the simulator until ``process`` finishes; return its value."""
+    deadline = cluster.sim.now + horizon_s
+    while not process.triggered and cluster.sim.now < deadline:
+        before = cluster.sim.pending_events
+        cluster.sim.run(until=min(cluster.sim.now + 50.0, deadline))
+        if cluster.sim.pending_events == 0 and not process.triggered:
+            raise RuntimeError(
+                f"simulation drained with process still pending at t={cluster.sim.now}"
+            )
+    if not process.triggered:
+        raise RuntimeError(f"experiment exceeded horizon of {horizon_s} sim-seconds")
+    if process.ok is False:
+        raise process.value
+    return process.value

@@ -1,0 +1,203 @@
+"""The NICE client library (§3.2, §5 Request Routing).
+
+The client addresses the *virtual* storage system: it hashes the object
+name, finds the responsible vnode, and fires a UDP request at the vnode
+address — the unicast vring for gets, the multicast vring for puts (with
+the object data on the reliable multicast transport).  Replies arrive on a
+client-side TCP socket.  Failed operations are retried after a fixed
+back-off (Fig 11 uses 2 s); retried puts reuse the original client
+timestamp, so commits are idempotent across retries (§4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..net import Host, IPv4Address
+from ..sim import AnyOf, Counter, Event, Simulator, Tally
+from ..transport import MulticastSender, ProtocolStack
+from .config import (
+    CLIENT_PORT,
+    ClusterConfig,
+    GET_PORT,
+    PUT_PORT,
+    REQUEST_BYTES,
+)
+from .vring import VirtualRing
+
+__all__ = ["NiceClient", "OpResult"]
+
+
+class OpResult:
+    """Outcome of one client operation."""
+
+    __slots__ = ("ok", "latency", "retries", "value", "status")
+
+    def __init__(self, ok: bool, latency: float, retries: int, value=None, status=""):
+        self.ok = ok
+        self.latency = latency
+        self.retries = retries
+        self.value = value
+        self.status = status
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OpResult {'ok' if self.ok else self.status} {self.latency * 1e3:.3f}ms>"
+
+
+class NiceClient:
+    """One client machine's NICEKV library instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        config: ClusterConfig,
+        unicast_vring: VirtualRing,
+        multicast_vring: VirtualRing,
+    ):
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.uni = unicast_vring
+        self.mc = multicast_vring
+        self.stack = ProtocolStack(sim, host)
+        self.mc_sender = MulticastSender(self.stack)
+        self._reply_inbox = self.stack.tcp.listen(CLIENT_PORT)
+        self._waiters: Dict[Tuple, Event] = {}
+        self._op_seq = itertools.count(1)
+        self.put_latency = Tally(f"{host.name}.put")
+        self.get_latency = Tally(f"{host.name}.get")
+        self.failures = Counter(f"{host.name}.failures")
+        self.retries = Counter(f"{host.name}.retries")
+        sim.process(self._reply_loop())
+
+    @property
+    def ip(self) -> IPv4Address:
+        return self.host.ip
+
+    def _reply_loop(self):
+        while True:
+            msg = yield self._reply_inbox.get()
+            body = msg.payload or {}
+            op_id = tuple(body.get("op_id", ()))
+            waiter = self._waiters.pop(op_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(body)
+            # Late duplicates (replies to retried ops) are dropped.
+
+    def _new_op(self) -> Tuple:
+        return (str(self.ip), next(self._op_seq))
+
+    # -- public API -----------------------------------------------------------
+    def put(self, key: str, value, size: int, max_retries: int = 3):
+        """Store ``value`` under ``key``; returns a Process → :class:`OpResult`."""
+        return self.sim.process(self._put(key, value, size, max_retries))
+
+    def get(self, key: str, max_retries: int = 3):
+        """Fetch ``key``; returns a Process → :class:`OpResult`."""
+        return self.sim.process(self._get(key, max_retries))
+
+    def put_anyk(self, key: str, value, size: int, quorum: int):
+        """Quorum-mode put (§5): the reliable any-k multicast returns when
+        ``quorum`` replicas hold the data; no 2PC round (Fig 8's NICE side)."""
+        return self.sim.process(self._put_anyk(key, value, size, quorum))
+
+    # -- implementations ----------------------------------------------------------
+    def _put(self, key: str, value, size: int, max_retries: int):
+        t0 = self.sim.now
+        client_ts = self.sim.now  # reused across retries: idempotence token
+        vaddr = self.mc.vnode_for_key(key)
+        for attempt in range(max_retries + 1):
+            op_id = self._new_op()
+            waiter = Event(self.sim)
+            self._waiters[op_id] = waiter
+            self.mc_sender.send(
+                vaddr,
+                PUT_PORT,
+                {
+                    "type": "put",
+                    "op_id": op_id,
+                    "key": key,
+                    "value": value,
+                    "size": size,
+                    "client_ip": str(self.ip),
+                    "client_ts": client_ts,
+                    "client_port": CLIENT_PORT,
+                },
+                size,
+                n_receivers=self.config.replication_level,
+                quorum=1,
+            )
+            got = yield AnyOf(
+                self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
+            )
+            self._waiters.pop(op_id, None)
+            if waiter in got and got[waiter].get("status") == "ok":
+                latency = self.sim.now - t0
+                self.put_latency.observe(latency)
+                return OpResult(True, latency, attempt)
+            if attempt < max_retries:
+                self.retries.add()
+        self.failures.add()
+        return OpResult(False, self.sim.now - t0, max_retries, status="timeout")
+
+    def _get(self, key: str, max_retries: int):
+        t0 = self.sim.now
+        vaddr = self.uni.vnode_for_key(key)
+        for attempt in range(max_retries + 1):
+            op_id = self._new_op()
+            waiter = Event(self.sim)
+            self._waiters[op_id] = waiter
+            self.stack.udp_send(
+                vaddr,
+                GET_PORT,
+                {
+                    "type": "get",
+                    "op_id": op_id,
+                    "key": key,
+                    "client_ip": str(self.ip),
+                    "client_port": CLIENT_PORT,
+                },
+                REQUEST_BYTES,
+            )
+            got = yield AnyOf(
+                self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
+            )
+            self._waiters.pop(op_id, None)
+            if waiter in got:
+                body = got[waiter]
+                latency = self.sim.now - t0
+                if body.get("status") == "ok":
+                    self.get_latency.observe(latency)
+                    return OpResult(True, latency, attempt, value=body.get("value"))
+                return OpResult(False, latency, attempt, status=body.get("status", "error"))
+            if attempt < max_retries:
+                self.retries.add()
+        self.failures.add()
+        return OpResult(False, self.sim.now - t0, max_retries, status="timeout")
+
+    def _put_anyk(self, key: str, value, size: int, quorum: int):
+        t0 = self.sim.now
+        vaddr = self.mc.vnode_for_key(key)
+        op_id = self._new_op()
+        acks = yield self.mc_sender.send(
+            vaddr,
+            PUT_PORT,
+            {
+                "type": "put_anyk",
+                "op_id": op_id,
+                "key": key,
+                "value": value,
+                "size": size,
+                "client_ip": str(self.ip),
+                "client_ts": t0,
+                "client_port": CLIENT_PORT,
+            },
+            size,
+            n_receivers=self.config.replication_level,
+            quorum=quorum,
+        )
+        latency = self.sim.now - t0
+        self.put_latency.observe(latency)
+        return OpResult(True, latency, 0, value=len(acks))

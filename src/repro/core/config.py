@@ -1,0 +1,110 @@
+"""Cluster-wide configuration and wire-protocol constants.
+
+Defaults mirror the paper's deployment (§6): 15 storage nodes + 1 metadata
+node, 14 client machines, 1 Gbps links, replication level 3, sequential
+consistency; unicast vring 10.10.0.0/16 and multicast vring 10.11.0.0/16
+(§4.2's example ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net import GBPS, IPv4Network
+
+__all__ = [
+    "ClusterConfig",
+    "GET_PORT",
+    "PUT_PORT",
+    "NODE_PORT",
+    "META_PORT",
+    "CLIENT_PORT",
+    "REQUEST_BYTES",
+    "ACK_BYTES",
+    "COMMIT_BYTES",
+    "HEARTBEAT_BYTES",
+    "MEMBERSHIP_BYTES",
+]
+
+#: UDP port for get requests sent to the unicast vring.
+GET_PORT = 7000
+#: UDP port for put requests sent to the multicast vring.
+PUT_PORT = 7001
+#: TCP port for storage-node ↔ storage-node protocol messages.
+NODE_PORT = 7100
+#: Ports on the metadata service: UDP heartbeats and TCP control.
+META_PORT = 7200
+#: TCP port clients listen on for replies ("waits for the reply on a
+#: client-side TCP socket", §5).
+CLIENT_PORT = 7300
+
+#: Application-level message sizes (bytes of payload; headers are added by
+#: the wire model).
+REQUEST_BYTES = 100
+ACK_BYTES = 64
+COMMIT_BYTES = 128
+HEARTBEAT_BYTES = 256
+MEMBERSHIP_BYTES = 512
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs shared by the NICE and NOOB cluster builders."""
+
+    n_storage_nodes: int = 15
+    n_clients: int = 14
+    replication_level: int = 3
+    #: Partitions (= vring subgroups).  Defaults to the node count so every
+    #: node is primary of exactly one partition; must be a power of two for
+    #: the prefix-subgroup mapping, so the builder rounds up.
+    n_partitions: int = 0
+    link_bandwidth_bps: float = GBPS
+    link_latency_s: float = 50e-6
+    switch_lookup_latency_s: float = 5e-6
+    controller_latency_s: float = 500e-6
+    heartbeat_interval_s: float = 0.5
+    #: Heartbeats missed before the metadata service declares failure (§4.4).
+    heartbeat_miss_limit: int = 3
+    #: Node-to-node protocol timeout; two timeouts trigger a failure report.
+    peer_timeout_s: float = 0.5
+    #: Client retry timeout — Fig 11: "the client will retry after waiting
+    #: for 2 seconds".
+    client_retry_timeout_s: float = 2.0
+    unicast_vring: IPv4Network = field(default_factory=lambda: IPv4Network("10.10.0.0/16"))
+    multicast_vring: IPv4Network = field(default_factory=lambda: IPv4Network("10.11.0.0/16"))
+    client_space: IPv4Network = field(default_factory=lambda: IPv4Network("10.20.0.0/24"))
+    #: Smooth node placement on the physical ring.
+    ring_points_per_node: int = 32
+    #: Per-request CPU service time on a storage node (request parsing,
+    #: indexing, syscalls).  Serialized per node: the resource a hot
+    #: primary saturates on small-object workloads (Figs 10, 12).
+    node_cpu_per_op_s: float = 25e-6
+    #: Enable the §4.5 source-prefix load balancer for gets.
+    load_balancing: bool = True
+    #: Inject per-chunk multicast loss (exercises NACK repair; 0 in paper runs).
+    multicast_chunk_loss: float = 0.0
+    #: Deployment shape (§5.1): "hw" — one switch that can rewrite headers
+    #: and multicast (the idealized setup); "ovs" — the paper's actual
+    #: CloudLab deployment: a software Open vSwitch on every client does
+    #: the virtual→physical rewrites, the hardware switch only forwards
+    #: and multicasts (it cannot modify destination addresses).
+    deployment: str = "hw"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_storage_nodes < 1:
+            raise ValueError("need at least one storage node")
+        if not 1 <= self.replication_level <= self.n_storage_nodes:
+            raise ValueError(
+                f"replication level {self.replication_level} needs "
+                f"{self.replication_level} storage nodes, have {self.n_storage_nodes}"
+            )
+        if self.n_partitions <= 0:
+            self.n_partitions = self.n_storage_nodes
+        # Round partitions up to a power of two (prefix subgroups, §3.2).
+        p = 1
+        while p < self.n_partitions:
+            p *= 2
+        self.n_partitions = p
+        if self.deployment not in ("hw", "ovs"):
+            raise ValueError(f"deployment must be 'hw' or 'ovs': {self.deployment!r}")

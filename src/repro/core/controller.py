@@ -1,0 +1,488 @@
+"""The NICE SDN controller (the paper's Ryu app, §5 "Mapping Service").
+
+Responsibilities, mirroring the paper:
+
+* **L3 learning switch** — learns which (IP, MAC) sits behind which switch
+  port; unknown destinations are ARPed while the triggering packet is
+  buffered; recently-ARPed addresses are not re-asked.
+* **Virtual-ring mapping** — packets to a unicast-vring subgroup are
+  rewritten (dst IP + MAC) to the responsible physical replica and
+  forwarded in a single hop (§3.2); packets to a multicast-vring subgroup
+  hit an ALL-group that clones them to every put target (§4.2).
+* **In-network load balancing** — per-partition (src-prefix, dst-prefix)
+  rules spread get requests of one partition over its R replicas; clients
+  outside the divisions fall through to the primary (§4.5).
+* **Consistency-aware fault tolerance** — failed or inconsistent nodes are
+  simply absent from the installed mappings, so clients cannot reach them
+  (§3.3); the metadata service drives re-syncs on membership changes.
+
+Rule budget (§4.6): one unicast + one multicast entry per partition without
+load balancing (2N total), R unicast entries per partition with it
+((R+1)N total).  ``rule_count()`` exposes the live number for the
+scalability benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net import (
+    ArpTable,
+    Bucket,
+    ControllerApp,
+    FLOOD,
+    Group,
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    Match,
+    Output,
+    OutputGroup,
+    Packet,
+    Proto,
+    Rule,
+    SetEthDst,
+    SetIpDst,
+    ToController,
+    make_arp_request,
+)
+from .config import ClusterConfig, GET_PORT
+from .membership import PartitionMap, ReplicaSet
+from .vring import VirtualRing, mc_group_address
+
+__all__ = ["NiceControllerApp", "HostRecord", "SwitchInfo"]
+
+#: Rule priorities (higher wins).
+PRIO_ARP = 500
+PRIO_LB = 300
+PRIO_VRING = 200
+PRIO_L3 = 150
+
+#: Controller's pseudo-identity for ARP requests it originates.
+_CTRL_IP = IPv4Address("0.0.0.0")
+_CTRL_MAC = MacAddress(0x02FFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """Identity of a machine the controller may map traffic to."""
+
+    name: str
+    ip: IPv4Address
+    mac: MacAddress
+
+
+@dataclass
+class SwitchInfo:
+    """Role of one switch in the deployment (§5.1).
+
+    * ``core`` — the (hardware) fabric switch.  ``can_rewrite`` says
+      whether it supports set-field actions; the CloudLab switch did not.
+    * ``edge`` — a client-side Open vSwitch: always rewrites, serves one
+      client, forwards everything else up its ``uplink_port``.
+    """
+
+    role: str = "core"
+    can_rewrite: bool = True
+    client_ip: Optional[IPv4Address] = None
+    uplink_port: Optional[int] = None
+
+
+_DEFAULT_SWITCH_INFO = SwitchInfo()
+
+
+class NiceControllerApp(ControllerApp):
+    """SDN module of the metadata service."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        partition_map: PartitionMap,
+        unicast_vring: VirtualRing,
+        multicast_vring: VirtualRing,
+    ):
+        super().__init__()
+        self.config = config
+        self.partition_map = partition_map
+        self.uni = unicast_vring
+        self.mc = multicast_vring
+        self.hosts: Dict[str, HostRecord] = {}
+        self.arp = ArpTable()
+        #: dst ip -> [(switch, buffer_id)] awaiting ARP resolution.
+        self._pending: Dict[IPv4Address, List[Tuple[object, int]]] = {}
+        self._host_by_ip: Dict[IPv4Address, HostRecord] = {}
+        #: switch name -> deployment role (default: rewriting core).
+        self._switch_info: Dict[str, SwitchInfo] = {}
+        #: (switch name, peer switch name) -> local port toward the peer.
+        self._fabric_ports: Dict[Tuple[str, str], int] = {}
+
+    # -- deployment roles -------------------------------------------------------
+    def register_switch(
+        self,
+        switch,
+        role: str = "core",
+        can_rewrite: bool = True,
+        client_ip: Optional[IPv4Address] = None,
+        uplink_port: Optional[int] = None,
+    ) -> None:
+        if role not in ("core", "edge"):
+            raise ValueError(f"switch role must be core or edge: {role!r}")
+        self._switch_info[switch.name] = SwitchInfo(
+            role, can_rewrite, IPv4Address(client_ip) if client_ip else None, uplink_port
+        )
+
+    def _info(self, switch) -> SwitchInfo:
+        return self._switch_info.get(switch.name, _DEFAULT_SWITCH_INFO)
+
+    # -- directory -------------------------------------------------------------
+    def register_host(self, name: str, ip: IPv4Address, mac: MacAddress) -> HostRecord:
+        rec = HostRecord(name, IPv4Address(ip), MacAddress(mac))
+        self.hosts[name] = rec
+        self._host_by_ip[rec.ip] = rec
+        return rec
+
+    def learn_location(self, ip: IPv4Address, switch, port_no: int) -> None:
+        rec = self._host_by_ip.get(IPv4Address(ip))
+        mac = rec.mac if rec else MacAddress.BROADCAST
+        self.arp.learn(IPv4Address(ip), mac, switch.name, port_no)
+
+    def discover_topology(self, network) -> None:
+        """Learn every host's location and the inter-switch fabric ports
+        (equivalent to the steady state the learning switch converges to;
+        reactive learning is exercised separately in tests)."""
+        from ..net import Host, OpenFlowSwitch
+
+        for switch in self.channel.switches:
+            for port_no, port in switch.ports.items():
+                peer = port.peer
+                if peer is None:
+                    continue
+                if isinstance(peer.device, Host):
+                    self.learn_location(peer.device.ip, switch, port_no)
+                elif isinstance(peer.device, OpenFlowSwitch):
+                    self._fabric_ports[(switch.name, peer.device.name)] = port_no
+
+    def _edge_of_host(self, ip: IPv4Address) -> Optional[str]:
+        """Name of the edge switch ``ip`` sits behind, if any."""
+        loc = self.arp.lookup(ip)
+        if loc is None:
+            return None
+        info = self._switch_info.get(loc.switch_name)
+        return loc.switch_name if info is not None and info.role == "edge" else None
+
+    def location_of(self, name: str):
+        rec = self.hosts.get(name)
+        if rec is None:
+            return None
+        return self.arp.lookup(rec.ip)
+
+    # -- bootstrap -----------------------------------------------------------------
+    def install_static_rules(self) -> None:
+        """ARP punt rule on every switch, plus edge-switch base rules:
+        deliver the attached client's traffic to it, default everything
+        else up the uplink."""
+        for switch in self.channel.switches:
+            self.channel.flow_mod(
+                switch, Rule(Match(proto=Proto.ARP), [ToController()], PRIO_ARP, cookie="arp")
+            )
+            info = self._info(switch)
+            if info.role != "edge":
+                continue
+            rec = self._host_by_ip.get(info.client_ip)
+            loc = self.arp.lookup(info.client_ip) if rec else None
+            if rec is not None and loc is not None and loc.switch_name == switch.name:
+                self.channel.flow_mod(
+                    switch,
+                    Rule(
+                        Match(ip_dst=rec.ip),
+                        [SetEthDst(rec.mac), Output(loc.port_no)],
+                        PRIO_L3,
+                        cookie="edge-base",
+                    ),
+                )
+            if info.uplink_port is not None:
+                self.channel.flow_mod(
+                    switch,
+                    Rule(Match(), [Output(info.uplink_port)], 1, cookie="edge-base"),
+                )
+
+    def sync_all(self) -> None:
+        """Install L3 + vring + LB + group rules for the whole system."""
+        for rec in self.hosts.values():
+            self._install_l3(rec)
+        for rs in self.partition_map:
+            self.sync_partition(rs.partition)
+
+    # -- per-partition rule synthesis --------------------------------------------------
+    def sync_partition(self, partition: int) -> None:
+        """Recompute and reinstall every rule derived from one replica set.
+
+        Called by the metadata service on any membership change affecting
+        the partition — failure hiding, handoff insertion, rejoin phases.
+        """
+        rs = self.partition_map.get(partition)
+        for switch in self.channel.switches:
+            info = self._info(switch)
+            self.channel.flow_delete(switch, f"uni:{partition}")
+            self.channel.flow_delete(switch, f"mc:{partition}")
+            if info.role == "edge":
+                for rule in self._edge_rules(rs, switch, info):
+                    self.channel.flow_mod(switch, rule)
+                continue
+            if info.can_rewrite:
+                for rule in self._unicast_rules(rs, switch):
+                    self.channel.flow_mod(switch, rule)
+            group, rules = self._multicast_entry(rs, switch, info)
+            self.channel.group_mod(switch, group)
+            for rule in rules:
+                self.channel.flow_mod(switch, rule)
+
+    def _unicast_rules(self, rs: ReplicaSet, switch) -> List[Rule]:
+        subgroup = self.uni.subgroup_prefix(rs.partition)
+        rules: List[Rule] = []
+        primary = self.hosts.get(rs.primary)
+        targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
+        if primary is None or not targets:
+            return rules  # partition dark: no consistent replica reachable
+        if self.config.load_balancing and len(targets) > 1:
+            for division, rec in zip(self._client_divisions(len(targets)), targets):
+                rules.append(
+                    Rule(
+                        Match(
+                            ip_src=division,
+                            ip_dst=subgroup,
+                            proto=Proto.UDP,
+                            dport=GET_PORT,
+                        ),
+                        self._rewrite_to(rec, switch),
+                        PRIO_LB,
+                        cookie=f"uni:{rs.partition}",
+                    )
+                )
+        # Default: anything else on this subgroup goes to the primary (§4.5:
+        # "requests coming from IP addresses that are not covered by these
+        # divisions ... forwarded to the primary replica").
+        rules.append(
+            Rule(
+                Match(ip_dst=subgroup),
+                self._rewrite_to(primary, switch),
+                PRIO_VRING,
+                cookie=f"uni:{rs.partition}",
+            )
+        )
+        return rules
+
+    def _multicast_entry(self, rs: ReplicaSet, switch, info: SwitchInfo) -> Tuple[Group, List[Rule]]:
+        """The core switch's ALL-group plus the rules that hit it.
+
+        A rewriting core matches the multicast-vring subgroup directly (hw
+        deployment); any core also matches the replica set's IP multicast
+        group address — the target of edge rewrites and of storage-node
+        protocol multicasts (the 2PC timestamp)."""
+        buckets = []
+        for name in rs.put_targets():
+            rec = self.hosts.get(name)
+            loc = self.arp.lookup(rec.ip) if rec else None
+            if loc is None or loc.switch_name != switch.name:
+                continue
+            actions = (SetIpDst(rec.ip), SetEthDst(rec.mac)) if info.can_rewrite else ()
+            buckets.append(Bucket(actions=actions, port=loc.port_no))
+        group = Group(group_id=rs.partition, buckets=buckets)
+        rules = [
+            Rule(
+                Match(ip_dst=mc_group_address(rs.partition)),
+                [OutputGroup(rs.partition)],
+                PRIO_VRING,
+                cookie=f"mc:{rs.partition}",
+            )
+        ]
+        if info.can_rewrite:
+            rules.append(
+                Rule(
+                    Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
+                    [OutputGroup(rs.partition)],
+                    PRIO_VRING,
+                    cookie=f"mc:{rs.partition}",
+                )
+            )
+        return group, rules
+
+    def _edge_rules(self, rs: ReplicaSet, switch, info: SwitchInfo) -> List[Rule]:
+        """Client-side OVS rules (§5.1): rewrite virtual destinations to
+        physical ones, then punt up the uplink; the hardware switch does
+        the forwarding and multicast fan-out."""
+        rules: List[Rule] = []
+        if info.uplink_port is None:
+            return rules
+        uplink = [Output(info.uplink_port)]
+        primary = self.hosts.get(rs.primary)
+        targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
+        if primary is None or not targets:
+            return rules
+        # Which replica serves THIS client's gets (its LB division, §4.5).
+        target = primary
+        if self.config.load_balancing and len(targets) > 1 and info.client_ip is not None:
+            for division, rec in zip(self._client_divisions(len(targets)), targets):
+                if info.client_ip in division:
+                    target = rec
+                    break
+        rules.append(
+            Rule(
+                Match(ip_dst=self.uni.subgroup_prefix(rs.partition), proto=Proto.UDP,
+                      dport=GET_PORT),
+                [SetIpDst(target.ip), SetEthDst(target.mac)] + uplink,
+                PRIO_LB,
+                cookie=f"uni:{rs.partition}",
+            )
+        )
+        rules.append(
+            Rule(
+                Match(ip_dst=self.uni.subgroup_prefix(rs.partition)),
+                [SetIpDst(primary.ip), SetEthDst(primary.mac)] + uplink,
+                PRIO_VRING,
+                cookie=f"uni:{rs.partition}",
+            )
+        )
+        rules.append(
+            Rule(
+                Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
+                [SetIpDst(mc_group_address(rs.partition))] + uplink,
+                PRIO_VRING,
+                cookie=f"mc:{rs.partition}",
+            )
+        )
+        return rules
+
+    def _client_divisions(self, r: int) -> List[IPv4Network]:
+        """Split the client space into the first ``r`` power-of-two blocks."""
+        blocks = 1
+        while blocks < r:
+            blocks *= 2
+        new_plen = self.config.client_space.prefixlen + (blocks.bit_length() - 1)
+        return list(self.config.client_space.subnets(new_plen))[:r]
+
+    def _rewrite_to(self, rec: HostRecord, switch) -> list:
+        loc = self.arp.lookup(rec.ip)
+        if loc is None or loc.switch_name != switch.name:
+            return [ToController()]  # location unknown: punt (then ARP)
+        return [SetIpDst(rec.ip), SetEthDst(rec.mac), Output(loc.port_no)]
+
+    def _install_l3(self, rec: HostRecord) -> None:
+        loc = self.arp.lookup(rec.ip)
+        if loc is None:
+            return
+        for switch in self.channel.switches:
+            info = self._info(switch)
+            if switch.name == loc.switch_name:
+                self.channel.flow_delete(switch, f"l3:{rec.ip}")
+                self.channel.flow_mod(
+                    switch,
+                    Rule(
+                        Match(ip_dst=rec.ip),
+                        [SetEthDst(rec.mac), Output(loc.port_no)],
+                        PRIO_L3,
+                        cookie=f"l3:{rec.ip}",
+                    ),
+                )
+            elif info.role == "core":
+                # Host sits behind another switch (a client's edge OVS):
+                # route toward that switch's fabric port.
+                port = self._fabric_ports.get((switch.name, loc.switch_name))
+                if port is not None:
+                    self.channel.flow_delete(switch, f"l3:{rec.ip}")
+                    self.channel.flow_mod(
+                        switch,
+                        Rule(
+                            Match(ip_dst=rec.ip),
+                            [Output(port)],
+                            PRIO_L3,
+                            cookie=f"l3:{rec.ip}",
+                        ),
+                    )
+            # Edges reach everything else via their default uplink rule.
+
+    def hide_host(self, name: str) -> None:
+        """Hide a failed/inconsistent node from *clients* (§3.3, §4.4).
+
+        Hiding is a virtual-ring property: the partition re-syncs that
+        accompany this call exclude the node from every unicast rule and
+        multicast bucket, so no client request can reach it — clients only
+        ever address vnode IPs.  Physical L3 reachability deliberately
+        remains: "inconsistent nodes can communicate with the other
+        consistent nodes to update their data set" (§3.3), and the node
+        must be able to talk to the metadata service to rejoin.
+        """
+        # vring exclusion happens in the caller's sync_partition() calls.
+        return
+
+    def unhide_host(self, name: str) -> None:
+        """Re-assert the node's L3 entry (idempotent; see hide_host)."""
+        rec = self.hosts.get(name)
+        if rec is not None:
+            self._install_l3(rec)
+
+    # -- reactive path (packet-in) ----------------------------------------------------
+    def on_packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
+        if packet.proto == Proto.ARP:
+            self._on_arp(switch, packet, in_port_no, buffer_id)
+            return
+        # Learn the sender's location from any data-plane packet.
+        if not packet.src_ip.is_multicast and packet.src_ip != _CTRL_IP:
+            if self.arp.lookup(packet.src_ip) is None:
+                self.learn_location(packet.src_ip, switch, in_port_no)
+        dst = packet.dst_ip
+        if dst in self.uni.prefix:
+            self.sync_partition(self.uni.subgroup_of_address(dst))
+            self.channel.release_buffered(switch, buffer_id)
+        elif dst in self.mc.prefix:
+            self.sync_partition(self.mc.subgroup_of_address(dst))
+            self.channel.release_buffered(switch, buffer_id)
+        elif dst.is_multicast:
+            # A replica-set group address (node-originated 2PC timestamp
+            # racing a rule re-sync): reinstall and release.
+            partition = dst.value & 0x0FFFFFFF
+            try:
+                self.partition_map.get(partition)
+            except KeyError:
+                self.channel.drop_buffered(switch, buffer_id)
+                return
+            self.sync_partition(partition)
+            self.channel.release_buffered(switch, buffer_id)
+        elif self.arp.lookup(dst) is not None:
+            rec = self._host_by_ip.get(dst)
+            if rec is not None:
+                self._install_l3(rec)
+            self.channel.release_buffered(switch, buffer_id)
+        else:
+            # Unknown unicast: buffer and ARP (rate-limited, §5).
+            self._pending.setdefault(dst, []).append((switch, buffer_id))
+            now = switch.sim.now
+            if self.arp.should_ask(dst, now):
+                req = make_arp_request(_CTRL_IP, _CTRL_MAC, dst)
+                self.channel.packet_out(switch, req, [Output(FLOOD)])
+
+    def _on_arp(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
+        body = packet.payload or {}
+        if body.get("op") == "reply":
+            ip = body["sender_ip"]
+            self.arp.learn(ip, body["sender_mac"], switch.name, in_port_no)
+            rec = self._host_by_ip.get(ip)
+            if rec is not None:
+                self._install_l3(rec)
+            for sw, bid in self._pending.pop(ip, []):
+                self.channel.release_buffered(sw, bid)
+        elif body.get("op") == "request":
+            # Host-originated ARP (not used by NICE clients): flood it.
+            self.channel.packet_out(switch, packet.copy(), [Output(FLOOD)])
+        self.channel.drop_buffered(switch, buffer_id)
+
+    # -- §4.6 accounting -----------------------------------------------------------------
+    def rule_count(self, cookie_prefixes: Tuple[str, ...] = ("uni:", "mc:")) -> int:
+        """Total vring entries across switches (the §4.6 budget)."""
+        total = 0
+        for switch in self.channel.switches:
+            for rule in switch.table.rules:
+                if any(rule.cookie.startswith(p) for p in cookie_prefixes):
+                    total += 1
+        return total

@@ -1,0 +1,182 @@
+"""Membership state: replica sets and the partition map.
+
+The metadata service is "the only component that maintains the system
+membership and metadata" (§4.1).  Each partition (vring subgroup) has a
+replica set; storage nodes receive only the O(R) slice relevant to them.
+
+A replica set distinguishes:
+
+* *members* — the original replicas (element 0 is the original primary);
+* *absent* — failed or not-yet-consistent members, hidden from clients
+  (consistency-aware fault tolerance, §3.3);
+* *joining* — rejoining members in phase 1: visible to puts (multicast
+  group) but not yet to gets (§4.4, Node Recovery);
+* *handoffs* — stand-in secondaries covering for absent members (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..kv import ConsistentHashRing
+
+__all__ = ["ReplicaSet", "PartitionMap"]
+
+
+@dataclass
+class ReplicaSet:
+    """Current membership of one partition."""
+
+    partition: int
+    members: List[str]
+    primary: str = ""
+    absent: Set[str] = field(default_factory=set)
+    joining: Set[str] = field(default_factory=set)
+    handoffs: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError(f"partition {self.partition}: empty replica set")
+        if not self.primary:
+            self.primary = self.members[0]
+
+    # -- views ------------------------------------------------------------
+    def put_targets(self) -> List[str]:
+        """Multicast-group membership: consistent members, phase-1 joiners,
+        and handoffs — everyone who must receive new puts."""
+        out = [m for m in self.members if m not in self.absent]
+        out += [m for m in self.members if m in self.joining and m in self.absent]
+        out += list(self.handoffs)
+        return out
+
+    def get_targets(self) -> List[str]:
+        """Unicast/LB targets: only nodes holding consistent data."""
+        return [m for m in self.members if m not in self.absent] + list(self.handoffs)
+
+    def secondaries(self) -> List[str]:
+        """Current secondary replicas from the acting primary's view."""
+        return [n for n in self.put_targets() if n != self.primary]
+
+    def is_member(self, node: str) -> bool:
+        return node in self.members or node in self.handoffs
+
+    def live_original_members(self) -> List[str]:
+        return [m for m in self.members if m not in self.absent]
+
+    # -- transitions (driven by the metadata service) -----------------------------
+    def mark_failed(self, node: str) -> None:
+        if node in self.members:
+            self.absent.add(node)
+            self.joining.discard(node)
+            if self.primary == node:
+                live = self.live_original_members()
+                # §4.4: "the metadata service selects one of the secondary
+                # nodes to act as a primary node".
+                if live:
+                    self.primary = live[0]
+                elif self.handoffs:
+                    self.primary = self.handoffs[0]
+        elif node in self.handoffs:
+            self.handoffs.remove(node)
+
+    def add_handoff(self, node: str) -> None:
+        if self.is_member(node):
+            raise ValueError(f"{node} already serves partition {self.partition}")
+        self.handoffs.append(node)
+
+    def begin_rejoin(self, node: str) -> None:
+        """Phase 1: put-visible only (still 'absent' for gets)."""
+        if node not in self.members:
+            raise ValueError(f"{node} is not an original member of p{self.partition}")
+        self.joining.add(node)
+
+    def complete_rejoin(self, node: str) -> List[str]:
+        """Phase 2: node is consistent — restore it, drop handoffs.
+
+        Returns the handoff nodes released by this transition.
+        """
+        if node not in self.joining:
+            raise ValueError(f"{node} has not begun rejoin on p{self.partition}")
+        self.joining.discard(node)
+        self.absent.discard(node)
+        released, self.handoffs = self.handoffs, []
+        if self.members and self.members[0] == node:
+            self.primary = node  # original primary resumes its role
+        elif self.primary not in self.live_original_members():
+            self.primary = self.live_original_members()[0]
+        return released
+
+    def to_wire(self) -> dict:
+        """Serializable O(R) slice sent to affected storage nodes."""
+        return {
+            "partition": self.partition,
+            "members": list(self.members),
+            "primary": self.primary,
+            "absent": sorted(self.absent),
+            "joining": sorted(self.joining),
+            "handoffs": list(self.handoffs),
+        }
+
+    @staticmethod
+    def from_wire(data: dict) -> "ReplicaSet":
+        return ReplicaSet(
+            partition=data["partition"],
+            members=list(data["members"]),
+            primary=data["primary"],
+            absent=set(data["absent"]),
+            joining=set(data["joining"]),
+            handoffs=list(data["handoffs"]),
+        )
+
+
+class PartitionMap:
+    """All replica sets, plus the placement logic that seeds them."""
+
+    def __init__(self, replica_sets: List[ReplicaSet]):
+        self._sets: Dict[int, ReplicaSet] = {rs.partition: rs for rs in replica_sets}
+
+    @staticmethod
+    def build(
+        node_names: List[str],
+        n_partitions: int,
+        replication_level: int,
+        ring_points_per_node: int = 32,
+    ) -> "PartitionMap":
+        """Initial placement: partitions land on the physical consistent-hash
+        ring; the R clockwise successors form the replica set (§3.1)."""
+        ring = ConsistentHashRing(points_per_node=ring_points_per_node)
+        for name in node_names:
+            ring.add_node(name)
+        sets = []
+        for p in range(n_partitions):
+            point = ConsistentHashRing.partition_point(p, n_partitions)
+            members = [str(n) for n in ring.successors(point, replication_level)]
+            sets.append(ReplicaSet(partition=p, members=members))
+        return PartitionMap(sets)
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self):
+        return iter(self._sets.values())
+
+    def get(self, partition: int) -> ReplicaSet:
+        try:
+            return self._sets[partition]
+        except KeyError:
+            raise KeyError(f"unknown partition {partition}") from None
+
+    def partitions_of(self, node: str) -> List[ReplicaSet]:
+        """Every replica set ``node`` currently serves (member or handoff)."""
+        return [rs for rs in self._sets.values() if rs.is_member(node)]
+
+    def partitions_where_member(self, node: str) -> List[ReplicaSet]:
+        return [rs for rs in self._sets.values() if node in rs.members]
+
+    def eligible_handoffs(self, partition: int, candidates: List[str]) -> List[str]:
+        """Nodes that may stand in for a failure on ``partition``: "any
+        storage node ... that is not already part of the affected
+        replication set" (§4.4)."""
+        rs = self.get(partition)
+        return [c for c in candidates if not rs.is_member(c)]

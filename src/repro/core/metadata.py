@@ -1,0 +1,265 @@
+"""The metadata service (§4.1): membership module + SDN controller driver.
+
+The service is the only component with complete membership knowledge.  It:
+
+* receives UDP heartbeats from storage nodes and declares a node failed
+  after ``heartbeat_miss_limit`` missed beats, or immediately upon a peer's
+  failure report (§4.4, Failure Detection);
+* hides failed nodes by re-syncing switch rules without them (§4.4,
+  Failure Hiding) and selects a handoff node per affected partition (§4.4,
+  Maintaining Replication Level);
+* stages node rejoin in two phases — put-visible first, get-visible after
+  the node reports consistency (§4.4, Node Recovery);
+* supports administrative ring reconfiguration (§4.4, Ring Re-Configuration);
+* pushes O(R) membership slices to affected replicas only, keeping
+  maintenance O(S) switch messages + O(R) node messages per change (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net import IPv4Address
+from ..sim import Counter, Simulator
+from ..transport import ProtocolStack
+from .config import (
+    ACK_BYTES,
+    ClusterConfig,
+    HEARTBEAT_BYTES,
+    MEMBERSHIP_BYTES,
+    META_PORT,
+    NODE_PORT,
+)
+from .controller import NiceControllerApp
+from .membership import PartitionMap, ReplicaSet
+
+__all__ = ["MetadataService"]
+
+#: Node lifecycle states tracked by the membership module.
+UP, DOWN, JOINING = "up", "down", "joining"
+
+
+class MetadataService:
+    """Runs on its own host; owns the partition map and the controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: ProtocolStack,
+        config: ClusterConfig,
+        partition_map: PartitionMap,
+        controller: NiceControllerApp,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.config = config
+        self.partition_map = partition_map
+        self.controller = controller
+        self.status: Dict[str, str] = {}
+        self.last_heartbeat: Dict[str, float] = {}
+        #: Client IPs observed per partition (heartbeat workload stats, §4.5).
+        self.client_stats: Dict[int, set] = {}
+        self._handoff_rr = 0  # round-robin cursor for handoff selection
+        self.failures_declared = Counter("meta.failures")
+        self.rejoins_completed = Counter("meta.rejoins")
+        self.membership_messages = Counter("meta.membership_msgs")
+        self._hb_inbox = stack.udp_bind(META_PORT)
+        self._ctl_inbox = stack.tcp.listen(META_PORT)
+        sim.process(self._heartbeat_loop())
+        sim.process(self._control_loop())
+        sim.process(self._monitor_loop())
+
+    # -- registration -------------------------------------------------------------
+    def register_node(self, name: str) -> None:
+        self.status[name] = UP
+        self.last_heartbeat[name] = self.sim.now
+
+    def node_ip(self, name: str) -> Optional[IPv4Address]:
+        rec = self.controller.hosts.get(name)
+        return rec.ip if rec else None
+
+    def live_nodes(self) -> List[str]:
+        return [n for n, s in self.status.items() if s == UP]
+
+    # -- inbound loops ---------------------------------------------------------------
+    def _heartbeat_loop(self):
+        while True:
+            dgram = yield self._hb_inbox.get()
+            body = dgram.payload or {}
+            if body.get("type") != "hb":
+                continue
+            node = body["node"]
+            if self.status.get(node) == DOWN:
+                continue  # must rejoin explicitly first (§4.4)
+            self.last_heartbeat[node] = self.sim.now
+            for partition, clients in (body.get("stats") or {}).items():
+                self.client_stats.setdefault(partition, set()).update(clients)
+
+    def _monitor_loop(self):
+        interval = self.config.heartbeat_interval_s
+        limit = self.config.heartbeat_miss_limit * interval
+        while True:
+            yield self.sim.timeout(interval)
+            now = self.sim.now
+            for node, state in list(self.status.items()):
+                if state == UP and now - self.last_heartbeat.get(node, now) > limit:
+                    self.declare_failed(node)
+
+    def _control_loop(self):
+        while True:
+            msg = yield self._ctl_inbox.get()
+            body = msg.payload or {}
+            kind = body.get("type")
+            if kind == "report_failure":
+                suspect = body["suspect"]
+                if self.status.get(suspect) == UP:
+                    self.declare_failed(suspect)
+                yield msg.conn.send({"type": "report_ack"}, ACK_BYTES)
+            elif kind == "rejoin":
+                reply = self.begin_rejoin(body["node"])
+                yield msg.conn.send({"type": "rejoin_ack", **reply}, MEMBERSHIP_BYTES)
+            elif kind == "consistent":
+                self.complete_rejoin(body["node"])
+                yield msg.conn.send({"type": "consistent_ack"}, ACK_BYTES)
+            elif kind == "admin_remove":
+                self.admin_remove(body["node"])
+                yield msg.conn.send({"type": "admin_ack"}, ACK_BYTES)
+
+    # -- failure handling (§4.4) --------------------------------------------------------
+    def declare_failed(self, node: str) -> None:
+        """Hide ``node`` everywhere and install handoffs for its partitions."""
+        if self.status.get(node) == DOWN:
+            return
+        self.status[node] = DOWN
+        self.failures_declared.add()
+        # Drop cached transport state toward the corpse: reconnects to the
+        # rejoined node must run a fresh handshake.
+        ip = self.node_ip(node)
+        if ip is not None:
+            self.stack.tcp.reset_peer(ip)
+        affected = self.partition_map.partitions_of(node)
+        for rs in affected:
+            was_member = node in rs.members
+            rs.mark_failed(node)
+            if was_member:
+                handoff = self._select_handoff(rs)
+                if handoff is not None:
+                    rs.add_handoff(handoff)
+        self.controller.hide_host(node)
+        for rs in affected:
+            self.controller.sync_partition(rs.partition)
+            self._inform_replicas(rs)
+
+    def _select_handoff(self, rs: ReplicaSet) -> Optional[str]:
+        eligible = self.partition_map.eligible_handoffs(rs.partition, self.live_nodes())
+        if not eligible:
+            return None
+        eligible.sort()
+        choice = eligible[self._handoff_rr % len(eligible)]
+        self._handoff_rr += 1
+        return choice
+
+    # -- rejoin (§4.4, Node Recovery) ------------------------------------------------------
+    def begin_rejoin(self, node: str) -> dict:
+        """Phase 1: make ``node`` put-visible; tell it where its handoffs are.
+
+        §4.4: the node becomes "accessible to other storage nodes and to
+        client put requests only" — L3 reachability returns now (peers must
+        reach it for catch-up traffic), get visibility only in phase 2.
+        """
+        self.status[node] = JOINING
+        self.last_heartbeat[node] = self.sim.now
+        self.controller.unhide_host(node)
+        handoff_info = {}
+        slices = []
+        for rs in self.partition_map.partitions_where_member(node):
+            rs.begin_rejoin(node)
+            self.controller.sync_partition(rs.partition)
+            self._inform_replicas(rs)
+            slices.append(rs.to_wire())
+            if rs.handoffs:
+                handoff_info[rs.partition] = list(rs.handoffs)
+        # The reply carries the fresh O(R) slices so the node can start
+        # participating in puts the moment it learns its handoffs.
+        return {"handoffs": handoff_info, "replica_sets": slices}
+
+    def complete_rejoin(self, node: str) -> None:
+        """Phase 2: node reports consistent data — restore get visibility,
+        release handoffs, restore its primary roles.
+
+        Also serves admin node-addition (§4.4 Ring Re-Configuration): the
+        node is already UP there, joining only the new partitions.
+        """
+        if self.status.get(node) not in (JOINING, UP):
+            return
+        if self.status.get(node) == JOINING:
+            self.rejoins_completed.add()
+        self.status[node] = UP
+        self.controller.unhide_host(node)
+        for rs in self.partition_map.partitions_where_member(node):
+            if node not in rs.joining:
+                continue
+            released = rs.complete_rejoin(node)
+            self.controller.sync_partition(rs.partition)
+            self._inform_replicas(rs, extra=released)
+
+    # -- admin reconfiguration (§4.4, Ring Re-Configuration) -------------------------------
+    def admin_add_to_replica_set(self, node: str, partition: int) -> None:
+        """Add an existing storage node to a partition's replica set.
+
+        §4.4: "Adding a new node to a replica set follows a procedure
+        similar to rejoining a node after a temporary failure.  The node is
+        added first to the put vring ... the node contacts the primary node
+        to retrieve all keys stored in the hash range.  Once the new node
+        has consistent data it is added to the get vring."
+
+        The metadata side: extend membership, stage the node put-visible,
+        and re-sync the switch.  The node-side catch-up transfer runs when
+        the node receives the membership slice (it sees itself joining).
+        """
+        rs = self.partition_map.get(partition)
+        if rs.is_member(node):
+            raise ValueError(f"{node} already serves partition {partition}")
+        if self.status.get(node) != UP:
+            raise ValueError(f"{node} is not a live registered node")
+        rs.members.append(node)
+        rs.absent.add(node)   # not yet consistent: hidden from gets
+        rs.begin_rejoin(node)  # put-visible immediately
+        self.controller.sync_partition(partition)
+        self._inform_replicas(rs)
+
+    def admin_remove(self, node: str) -> None:
+        """Permanently remove ``node``: hide it and erase it from membership."""
+        if self.status.get(node) != DOWN:
+            self.declare_failed(node)
+        affected = [
+            rs for rs in self.partition_map if node in rs.members or node in rs.handoffs
+        ]
+        for rs in affected:
+            if node in rs.members:
+                rs.members.remove(node)
+                rs.absent.discard(node)
+                rs.joining.discard(node)
+            if node in rs.handoffs:
+                rs.handoffs.remove(node)
+            self.controller.sync_partition(rs.partition)
+            self._inform_replicas(rs)
+        self.status.pop(node, None)
+
+    # -- pushing membership slices -----------------------------------------------------------
+    def _inform_replicas(self, rs: ReplicaSet, extra: Optional[List[str]] = None) -> None:
+        """Send the O(R) slice to every node serving (or just released from)
+        the partition."""
+        targets = set(rs.put_targets()) | set(rs.get_targets()) | set(extra or [])
+        wire = rs.to_wire()
+        for name in sorted(targets):
+            ip = self.node_ip(name)
+            if ip is None or self.status.get(name) == DOWN:
+                continue
+            self.membership_messages.add()
+            self.sim.process(self._send_membership(ip, wire))
+
+    def _send_membership(self, ip: IPv4Address, wire: dict):
+        yield self.stack.tcp.send_message(
+            ip, NODE_PORT, {"type": "membership", "replica_set": wire}, MEMBERSHIP_BYTES
+        )

@@ -1,0 +1,859 @@
+"""The NICE storage node (§4.3–§4.4 and Fig 3).
+
+Every node serves put and get requests and implements the replication,
+consistency and fault-tolerance protocols:
+
+* **NICE-2PC put** — the client's put is multicast by the switch to the
+  whole replica set.  Each replica locks the object, force-logs (+L),
+  writes the object (W) and ack1's the primary; the primary, on all ack1s,
+  stamps the operation and multicasts the timestamp; replicas commit,
+  unlock (−L) and ack2; the primary then acknowledges the client.
+* **Handoff role** — a node standing in for a failed replica stores new
+  objects in a separate namespace and forwards get misses to the primary.
+* **Recovery** — a restarting node rejoins put-first, fetches missed
+  objects from its handoffs, then reports consistency to the metadata
+  service (which restores its get visibility).
+* **Primary failover** — a promoted secondary queries peers for locked
+  operations and applies the paper's rule: committed-anywhere ⇒ commit
+  everywhere; locked-everywhere (no commit evidence) ⇒ abort.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..kv import Disk, LockTable, LogRecord, ObjectStore, PutStamp, StoredObject, WriteAheadLog
+from ..net import Host, IPv4Address
+from ..sim import AnyOf, Counter, Event, Resource, Simulator
+from ..transport import MulticastEndpoint, MulticastSender, ProtocolStack
+from .config import (
+    ACK_BYTES,
+    COMMIT_BYTES,
+    ClusterConfig,
+    CLIENT_PORT,
+    GET_PORT,
+    HEARTBEAT_BYTES,
+    MEMBERSHIP_BYTES,
+    META_PORT,
+    NODE_PORT,
+    PUT_PORT,
+    REQUEST_BYTES,
+)
+from .membership import ReplicaSet
+from .vring import VirtualRing, mc_group_address
+
+__all__ = ["NiceStorageNode"]
+
+
+@dataclass
+class _PendingPut:
+    """A prepared (locked, logged, written) but uncommitted operation."""
+
+    op_id: Tuple
+    partition: int
+    key: str
+    value: object
+    size: int
+    client_ip: str
+    client_ts: float
+    client_port: int
+    role: str
+
+
+@dataclass
+class _Coordination:
+    """Primary-side per-operation 2PC state."""
+
+    need: Set[str]
+    ack1: Set[str] = field(default_factory=set)
+    ack2: Set[str] = field(default_factory=set)
+    ev1: Event = None
+    ev2: Event = None
+
+
+class NiceStorageNode:
+    """One storage server: protocol engines + local storage engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        name: str,
+        config: ClusterConfig,
+        unicast_vring: VirtualRing,
+        multicast_vring: VirtualRing,
+        metadata_ip: IPv4Address,
+        directory: Dict[str, IPv4Address],
+        rng=None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.name = name
+        self.config = config
+        self.uni = unicast_vring
+        self.mc = multicast_vring
+        self.metadata_ip = metadata_ip
+        #: name -> physical IP for the replicas this node talks to.  The
+        #: builder hands over the full directory for convenience, but the
+        #: node only ever addresses its O(R) replica-set peers.
+        self.directory = directory
+        self.stack = ProtocolStack(sim, host)
+        self.cpu = Resource(sim, capacity=1, name=f"{name}.cpu")
+        self.disk = Disk(sim, name=f"{name}.disk")
+        self.store = ObjectStore()
+        self.wal = WriteAheadLog(self.disk)
+        self.locks = LockTable()
+        self.replica_sets: Dict[int, ReplicaSet] = {}
+        self.mc_sender = MulticastSender(self.stack)
+        self.mc_endpoint = MulticastEndpoint(
+            self.stack, PUT_PORT, chunk_loss_rate=config.multicast_chunk_loss, rng=rng
+        )
+        self._get_inbox = self.stack.udp_bind(GET_PORT)
+        self._node_inbox = self.stack.tcp.listen(NODE_PORT)
+        self._pending: Dict[Tuple, _PendingPut] = {}
+        self._coord: Dict[Tuple, _Coordination] = {}
+        #: Acks that raced ahead of the primary's own prepare (its disk can
+        #: queue behind concurrent gets); drained when the coord is created.
+        self._early_acks: Dict[Tuple, Dict[int, Set[str]]] = {}
+        #: Ops aborted before this replica finished preparing them — the
+        #: prepare bails out when it finally gets the lock.
+        self._aborted: Dict[Tuple, bool] = {}
+        #: Commits that raced our prepare (possible for best-effort joining
+        #: replicas, whose ack1 the primary does not wait for).
+        self._early_commits: Dict[Tuple, PutStamp] = {}
+        self._recently_committed: Dict[Tuple, PutStamp] = {}
+        self._timeout_strikes: Dict[str, int] = {}
+        self._token_seq = itertools.count(1)
+        #: True while the crash-recovery rejoin drives catch-up itself (the
+        #: §4.4 node-addition catch-up must not double-trigger).
+        self._rejoining = False
+        self._clients_seen: Dict[int, set] = {}
+        self._was_primary: Set[int] = set()
+        self.puts_served = Counter(f"{name}.puts")
+        self.gets_served = Counter(f"{name}.gets")
+        self.gets_forwarded = Counter(f"{name}.gets_forwarded")
+        self.aborts = Counter(f"{name}.aborts")
+        sim.process(self._put_loop())
+        sim.process(self._get_loop())
+        sim.process(self._node_loop())
+        sim.process(self._heartbeat_loop())
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def ip(self) -> IPv4Address:
+        return self.host.ip
+
+    def install_replica_set(self, rs: ReplicaSet) -> None:
+        """Seed/update this node's O(R) membership slice."""
+        self.replica_sets[rs.partition] = rs
+        if rs.primary == self.name:
+            self._was_primary.add(rs.partition)
+
+    def role(self, partition: int) -> Optional[str]:
+        rs = self.replica_sets.get(partition)
+        if rs is None:
+            return None
+        if self.name in rs.handoffs:
+            return "handoff"
+        if self.name not in rs.members:
+            return None
+        return "primary" if rs.primary == self.name else "secondary"
+
+    def _peer_ip(self, name: str) -> Optional[IPv4Address]:
+        return self.directory.get(name)
+
+    def _cpu_work(self):
+        """One request's worth of CPU service time (serialized per node)."""
+        cost = self.config.node_cpu_per_op_s
+        if cost <= 0:
+            return
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            req.release()
+
+    # ------------------------------------------------------------------ failure injection
+    def crash(self) -> None:
+        """Fail-stop: NIC dark, in-memory locks and 2PC state lost; the
+        disk (object store + WAL) survives (§4.4)."""
+        self.host.fail()
+        self.locks.clear()
+        self._pending.clear()
+        self._coord.clear()
+        self._early_acks.clear()
+        self._recently_committed.clear()
+        # Forget primary roles: if re-promoted after restart, run the
+        # log-driven reconciliation again (complete-cluster-failure path).
+        self._was_primary.clear()
+
+    def restart(self) -> "Event":
+        """Power on and run the two-phase rejoin; returns the rejoin Process."""
+        self.host.recover()
+        # Membership knowledge may be arbitrarily stale (e.g. we might
+        # still believe we are a primary): drop it and wait for fresh O(R)
+        # slices — the rejoin reply carries them.
+        self.replica_sets.clear()
+        self._was_primary.clear()
+        return self.sim.process(self._rejoin())
+
+    # ------------------------------------------------------------------ put path (Fig 3)
+    def _put_loop(self):
+        while True:
+            msg = yield self.mc_endpoint.messages.get()
+            body = msg.payload or {}
+            if body.get("type") == "put":
+                self.sim.process(self._prepare_put(msg, body))
+            elif body.get("type") == "put_anyk":
+                self.sim.process(self._store_anyk(body))
+            elif body.get("type") == "commit":
+                self.sim.process(self._on_commit(body))
+            elif body.get("type") == "abort":
+                self._apply_abort(tuple(body["op_id"]))
+
+    def _prepare_put(self, msg, body: dict):
+        if msg.virtual_dst is None or msg.virtual_dst not in self.mc.prefix:
+            return
+        partition = self.mc.subgroup_of_address(msg.virtual_dst)
+        my_role = self.role(partition)
+        if my_role is None:
+            return
+        op_id = tuple(body["op_id"])
+        key = body["key"]
+        if op_id in self._pending or op_id in self._recently_committed:
+            return  # duplicate delivery of a retried put
+        yield from self._cpu_work()
+        # Lock; contended writers queue FIFO — grant order equals multicast
+        # arrival order, which the switch makes identical on every replica.
+        yield self.locks.request(self.sim, key, op_id)
+        if op_id in self._aborted or op_id in self._recently_committed:
+            # Aborted (or already force-committed) while we queued.
+            self.locks.release(key, op_id)
+            return
+        # +L then W (Fig 3): the log append carries the flush; the object
+        # write needs ordering but not a second fsync (group commit — the
+        # durable log record already covers the operation).
+        yield self.wal.append(
+            LogRecord(
+                op_id,
+                key,
+                body["size"],
+                body["client_ip"],
+                body["client_ts"],
+                value=body["value"],
+                client_port=body["client_port"],
+                partition=partition,
+            )
+        )
+        yield self.disk.write(body["size"], forced=False)
+        if not self.host.up:
+            return  # crashed mid-prepare: the process dies with the node
+        pend = _PendingPut(
+            op_id=op_id,
+            partition=partition,
+            key=key,
+            value=body["value"],
+            size=body["size"],
+            client_ip=body["client_ip"],
+            client_ts=body["client_ts"],
+            client_port=body["client_port"],
+            role=my_role,
+        )
+        self._pending[op_id] = pend
+        self._clients_seen.setdefault(partition, set()).add(body["client_ip"])
+        rs = self.replica_sets[partition]
+        # The 2PC outcome may have raced our prepare (we might be a
+        # best-effort joiner whose ack the primary didn't wait for).
+        early_stamp = self._early_commits.pop(op_id, None)
+        if op_id in self._aborted:
+            self._apply_abort(op_id)
+            return
+        if early_stamp is not None:
+            self._apply_commit(op_id, early_stamp)
+            if my_role != "primary":
+                primary_ip = self._peer_ip(rs.primary)
+                if primary_ip is not None:
+                    yield self.stack.tcp.send_message(
+                        primary_ip,
+                        NODE_PORT,
+                        {"type": "put_ack2", "op_id": op_id, "node": self.name},
+                        ACK_BYTES,
+                    )
+            return
+        if my_role == "primary":
+            yield from self._coordinate_put(pend, rs)
+        else:
+            primary_ip = self._peer_ip(rs.primary)
+            if primary_ip is not None:
+                yield self.stack.tcp.send_message(
+                    primary_ip,
+                    NODE_PORT,
+                    {"type": "put_ack1", "op_id": op_id, "node": self.name},
+                    ACK_BYTES,
+                )
+
+    def _store_anyk(self, body: dict):
+        """Quorum-mode put (§5 any-k multicast): the transport already
+        acked reception; just persist — no 2PC round."""
+        yield self.disk.write(body["size"], forced=True)
+        stamp = PutStamp(str(self.ip), self.sim.now, body["client_ip"], body["client_ts"])
+        self.store.put(StoredObject(body["key"], body["value"], body["size"], stamp))
+        self.puts_served.add()
+
+    def _coordinate_put(self, pend: _PendingPut, rs: ReplicaSet):
+        """Primary-side 2PC (Fig 3): gather ack1, multicast the timestamp,
+        gather ack2, acknowledge the client."""
+        op_id = pend.op_id
+        # Phase-1 rejoiners receive puts best-effort: they are still
+        # catching up and will fetch anything missed from the handoff, so
+        # the operation's success must not depend on their acks (§4.4).
+        secondaries = {s for s in rs.secondaries() if s not in rs.joining}
+        coord = _Coordination(need=secondaries)
+        coord.ev1 = Event(self.sim)
+        coord.ev2 = Event(self.sim)
+        self._coord[op_id] = coord
+        # Drain acks that beat us here while our prepare was on the disk.
+        early = self._early_acks.pop(op_id, None)
+        if early:
+            for phase, nodes in early.items():
+                for node in nodes:
+                    self._record_ack(op_id, node, phase)
+        if not secondaries:
+            if not coord.ev1.triggered:
+                coord.ev1.succeed()
+            if not coord.ev2.triggered:
+                coord.ev2.succeed()
+        ok1 = yield from self._await(coord.ev1)
+        if not ok1:
+            missing = coord.need - coord.ack1
+            yield from self._abort_put(pend, missing)
+            return
+        stamp = PutStamp(str(self.ip), self.sim.now, pend.client_ip, pend.client_ts)
+        # Nodes address the replica set's IP multicast group directly (they
+        # hold the O(R) membership); works on cores that cannot rewrite.
+        group_addr = mc_group_address(pend.partition)
+        self.mc_sender.send_ctrl(
+            group_addr,
+            PUT_PORT,
+            {"type": "commit", "op_id": op_id, "stamp": stamp},
+            COMMIT_BYTES,
+        )
+        if not self.host.up:
+            return  # crashed at the timestamp boundary: no local commit
+        self._apply_commit(op_id, stamp)
+        ok2 = yield from self._await(coord.ev2)
+        self._coord.pop(op_id, None)
+        if not ok2:
+            missing = coord.need - coord.ack2
+            for peer in missing:
+                yield from self._strike(peer)
+            self._reply_client(pend, status="fail")
+            return
+        self.puts_served.add()
+        self._reply_client(pend, status="ok")
+
+    def _await(self, ev: Event):
+        got = yield AnyOf(self.sim, [ev, self.sim.timeout(self.config.peer_timeout_s)])
+        return ev in got
+
+    def _abort_put(self, pend: _PendingPut, missing: Set[str]):
+        """Secondary failed mid-put: abort, tell the client, report peers."""
+        self.aborts.add()
+        group_addr = mc_group_address(pend.partition)
+        self.mc_sender.send_ctrl(
+            group_addr, PUT_PORT, {"type": "abort", "op_id": pend.op_id}, ACK_BYTES
+        )
+        self._apply_abort(pend.op_id)
+        self._coord.pop(pend.op_id, None)
+        self._reply_client(pend, status="fail")
+        for peer in missing:
+            yield from self._strike(peer)
+
+    def _on_commit(self, body: dict):
+        op_id = tuple(body["op_id"])
+        pend = self._pending.get(op_id)
+        if pend is None:
+            # Possibly racing our own prepare: stash the stamp so the
+            # prepare can commit the moment it finishes.
+            if op_id not in self._recently_committed and op_id not in self._aborted:
+                self._early_commits[op_id] = body["stamp"]
+                if len(self._early_commits) > 4096:
+                    self._early_commits.pop(next(iter(self._early_commits)))
+            return
+        if pend.role == "primary":
+            return  # primary committed inline; duplicates ignored
+        self._apply_commit(op_id, body["stamp"])
+        rs = self.replica_sets.get(pend.partition)
+        primary_ip = self._peer_ip(rs.primary) if rs else None
+        if primary_ip is not None:
+            yield self.stack.tcp.send_message(
+                primary_ip,
+                NODE_PORT,
+                {"type": "put_ack2", "op_id": op_id, "node": self.name},
+                ACK_BYTES,
+            )
+
+    def _apply_commit(self, op_id: Tuple, stamp: PutStamp) -> None:
+        if not self.host.up:
+            return
+        pend = self._pending.pop(op_id, None)
+        if pend is None:
+            # No in-memory state: a crash-surviving log record (§4.4
+            # complete-cluster-failure) can still be committed from the log.
+            rec = self.wal.get(op_id)
+            if rec is None:
+                return
+            role = self.role(rec.partition) or "secondary"
+            obj = StoredObject(rec.key, rec.value, rec.size_bytes, stamp)
+            if role == "handoff":
+                self.store.put_handoff(obj)
+            else:
+                self.store.put(obj)
+            self.wal.mark_committed(op_id, stamp)
+            self.wal.remove(op_id)
+            self.locks.force_release(rec.key)
+            self._recently_committed[op_id] = stamp
+            return
+        obj = StoredObject(pend.key, pend.value, pend.size, stamp)
+        if pend.role == "handoff":
+            self.store.put_handoff(obj)
+        else:
+            self.store.put(obj)
+        self.wal.mark_committed(op_id, stamp)
+        self.wal.remove(op_id)
+        self.locks.release(pend.key, op_id)
+        self._recently_committed[op_id] = stamp
+        if len(self._recently_committed) > 4096:
+            self._recently_committed.pop(next(iter(self._recently_committed)))
+
+    def _apply_abort(self, op_id: Tuple) -> None:
+        if not self.host.up:
+            return
+        self._early_acks.pop(op_id, None)
+        self._early_commits.pop(op_id, None)
+        self._aborted[op_id] = True
+        if len(self._aborted) > 4096:
+            self._aborted.pop(next(iter(self._aborted)))
+        pend = self._pending.pop(op_id, None)
+        if pend is None:
+            # Crash-surviving log record: drop it (§4.4 abort rule).
+            self.wal.remove(op_id)
+            return
+        self.wal.remove(op_id)
+        self.locks.release(pend.key, op_id)
+
+    def _reply_client(self, pend: _PendingPut, status: str) -> None:
+        self.stack.tcp.send_message(
+            IPv4Address(pend.client_ip),
+            pend.client_port,
+            {"type": "put_reply", "op_id": pend.op_id, "status": status},
+            ACK_BYTES,
+        )
+
+    # ------------------------------------------------------------------ get path
+    def _get_loop(self):
+        while True:
+            dgram = yield self._get_inbox.get()
+            body = dgram.payload or {}
+            if body.get("type") == "get":
+                self.sim.process(self._serve_get(body, dgram.virtual_dst))
+
+    def _serve_get(self, body: dict, virtual_dst):
+        yield from self._cpu_work()
+        key = body["key"]
+        if "partition" in body:
+            partition = body["partition"]
+        elif virtual_dst is not None and virtual_dst in self.uni.prefix:
+            partition = self.uni.subgroup_of_address(virtual_dst)
+        else:
+            partition = self.uni.subgroup_of_key(key)
+        body = dict(body, partition=partition)
+        my_role = self.role(partition)
+        if my_role == "handoff":
+            obj = self.store.get_handoff(key)
+            if obj is None:
+                # §4.4: handoff forwards gets for objects it never received.
+                rs = self.replica_sets.get(partition)
+                primary_ip = self._peer_ip(rs.primary) if rs else None
+                if primary_ip is not None:
+                    self.gets_forwarded.add()
+                    yield self.stack.tcp.send_message(
+                        primary_ip,
+                        NODE_PORT,
+                        {"type": "get_forward", "request": body},
+                        REQUEST_BYTES,
+                    )
+                return
+        else:
+            obj = self.store.get(key)
+        yield from self._reply_get(body, obj)
+
+    def _reply_get(self, body: dict, obj: Optional[StoredObject]):
+        self.gets_served.add()
+        if obj is not None:
+            yield self.disk.read(obj.size_bytes)
+            reply = {
+                "type": "get_reply",
+                "op_id": tuple(body["op_id"]),
+                "status": "ok",
+                "value": obj.value,
+                "size": obj.size_bytes,
+            }
+            size = REQUEST_BYTES + obj.size_bytes
+        else:
+            reply = {"type": "get_reply", "op_id": tuple(body["op_id"]), "status": "miss"}
+            size = ACK_BYTES
+        yield self.stack.tcp.send_message(
+            IPv4Address(body["client_ip"]), body["client_port"], reply, size
+        )
+
+    # ------------------------------------------------------------------ node-to-node TCP
+    def _node_loop(self):
+        while True:
+            msg = yield self._node_inbox.get()
+            body = msg.payload or {}
+            kind = body.get("type")
+            if kind == "put_ack1":
+                self._record_ack(tuple(body["op_id"]), body["node"], phase=1)
+            elif kind == "put_ack2":
+                self._record_ack(tuple(body["op_id"]), body["node"], phase=2)
+            elif kind == "membership":
+                self._on_membership(ReplicaSet.from_wire(body["replica_set"]))
+            elif kind == "get_forward":
+                self.sim.process(self._on_get_forward(body["request"]))
+            elif kind == "query_locks":
+                self.sim.process(self._on_query_locks(msg, body))
+            elif kind == "query_commit":
+                self.sim.process(self._on_query_commit(msg, body))
+            elif kind == "force_commit":
+                self._apply_commit(tuple(body["op_id"]), body["stamp"])
+            elif kind == "force_abort":
+                self._apply_abort(tuple(body["op_id"]))
+            elif kind == "fetch_handoff":
+                self.sim.process(self._on_fetch_handoff(msg, body))
+            elif kind == "fetch_partition":
+                self.sim.process(self._on_fetch_partition(msg, body))
+
+    def _record_ack(self, op_id: Tuple, node: str, phase: int) -> None:
+        coord = self._coord.get(op_id)
+        if coord is None:
+            if op_id not in self._recently_committed:
+                self._early_acks.setdefault(op_id, {}).setdefault(phase, set()).add(node)
+            return
+        bucket = coord.ack1 if phase == 1 else coord.ack2
+        bucket.add(node)
+        self._timeout_strikes.pop(node, None)
+        ev = coord.ev1 if phase == 1 else coord.ev2
+        if coord.need <= bucket and not ev.triggered:
+            ev.succeed()
+
+    def _on_membership(self, rs: ReplicaSet) -> None:
+        old = self.replica_sets.get(rs.partition)
+        self.replica_sets[rs.partition] = rs
+        # Freshly added to this replica set (§4.4 Ring Re-Configuration):
+        # catch up from the primary, then report consistency.
+        if (
+            self.name in rs.joining
+            and (old is None or self.name not in old.members)
+            and rs.primary != self.name
+            and not self._rejoining
+        ):
+            self.sim.process(self._catch_up(rs))
+        # Released from handoff duty: purge that partition's handoff objects.
+        if old is not None and self.name in old.handoffs and self.name not in rs.handoffs:
+            for obj in self.store.handoff_objects():
+                if self.uni.subgroup_of_key(obj.name) == rs.partition:
+                    self.store.drop_handoff(obj.name)
+        # Newly promoted to primary: reconcile in-flight 2PC state (§4.4).
+        if rs.primary == self.name and rs.partition not in self._was_primary:
+            self._was_primary.add(rs.partition)
+            self.sim.process(self._reconcile(rs))
+        if rs.primary != self.name:
+            self._was_primary.discard(rs.partition)
+
+    def _on_get_forward(self, request: dict):
+        obj = self.store.get(request["key"])
+        self.gets_forwarded.add()
+        yield from self._reply_get(request, obj)
+
+    def _on_query_locks(self, msg, body: dict):
+        partition = body["partition"]
+        locked = [
+            {
+                "op_id": p.op_id,
+                "key": p.key,
+                "client_ip": p.client_ip,
+                "client_ts": p.client_ts,
+                "client_port": p.client_port,
+            }
+            for p in self._pending.values()
+            if p.partition == partition
+        ]
+        # Crash-surviving log records count as locked operations too (§4.4:
+        # "the persistent logs on the nodes will identify the latest puts").
+        pending_ids = set(self._pending)
+        for rec in self.wal.replay():
+            if rec.partition == partition and rec.op_id not in pending_ids:
+                locked.append(
+                    {
+                        "op_id": rec.op_id,
+                        "key": rec.key,
+                        "client_ip": rec.client_addr,
+                        "client_ts": rec.client_ts,
+                        "client_port": rec.client_port,
+                    }
+                )
+        committed = dict(self._recently_committed)
+        yield msg.conn.send(
+            {
+                "type": "query_locks_reply",
+                "token": body["token"],
+                "locked": locked,
+                "committed": committed,
+            },
+            MEMBERSHIP_BYTES,
+        )
+
+    def _on_fetch_handoff(self, msg, body: dict):
+        partition = body["partition"]
+        objs = [
+            o
+            for o in self.store.handoff_objects()
+            if self.uni.subgroup_of_key(o.name) == partition
+        ]
+        total = sum(o.size_bytes for o in objs) + ACK_BYTES
+        yield msg.conn.send(
+            {
+                "type": "handoff_data",
+                "token": body["token"],
+                "objects": [(o.name, o.value, o.size_bytes, o.stamp) for o in objs],
+            },
+            total,
+        )
+
+    def _on_fetch_partition(self, msg, body: dict):
+        """Primary side of §4.4 node addition: ship every object in the
+        partition's hash range to the new replica."""
+        partition = body["partition"]
+        objs = [
+            o
+            for o in self.store.objects()
+            if self.uni.subgroup_of_key(o.name) == partition
+        ]
+        total = sum(o.size_bytes for o in objs) + ACK_BYTES
+        yield msg.conn.send(
+            {
+                "type": "partition_data",
+                "token": body["token"],
+                "objects": [(o.name, o.value, o.size_bytes, o.stamp) for o in objs],
+            },
+            total,
+        )
+
+    def _catch_up(self, rs: ReplicaSet):
+        """New-replica catch-up: fetch the hash range from the primary,
+        then tell the metadata service we are consistent."""
+        primary_ip = self._peer_ip(rs.primary)
+        if primary_ip is None:
+            return
+        data = yield from self._request(
+            primary_ip,
+            {"type": "fetch_partition", "partition": rs.partition},
+            REQUEST_BYTES,
+            reply_type="partition_data",
+        )
+        if data is None:
+            return  # primary unreachable: stay put-only; retry on next slice
+        for name, value, size, stamp in data["objects"]:
+            yield self.disk.write(size, forced=True)
+            self.store.put(StoredObject(name, value, size, stamp))
+        yield from self._request_meta(
+            {"type": "consistent", "node": self.name}, reply_type="consistent_ack"
+        )
+
+    # ------------------------------------------------------------------ failover reconciliation
+    def _on_query_commit(self, msg, body: dict):
+        """Report commit evidence for one client attempt: does our store
+        hold a version committed from that exact (client, timestamp) put?"""
+        stamp = self._store_commit_evidence(body["key"], body["client_ip"], body["client_ts"])
+        yield msg.conn.send(
+            {"type": "query_commit_reply", "token": body["token"], "stamp": stamp},
+            ACK_BYTES,
+        )
+
+    def _store_commit_evidence(self, key: str, client_ip: str, client_ts: float):
+        obj = self.store.get(key) or self.store.get_handoff(key)
+        if (
+            obj is not None
+            and obj.stamp is not None
+            and obj.stamp.client_addr == client_ip
+            and obj.stamp.client_ts == client_ts
+        ):
+            return obj.stamp
+        return None
+
+    def _reconcile(self, rs: ReplicaSet):
+        """New-primary lock reconciliation (§4.4, Failures during Put).
+
+        Gathers locked operations from live 2PC state *and* from the
+        crash-surviving write-ahead logs (complete-cluster-failure case),
+        then applies the paper's rule: committed anywhere ⇒ commit
+        everywhere; otherwise abort.
+        """
+        peers = [n for n in rs.secondaries() if self._peer_ip(n) is not None]
+        locked: Dict[Tuple, dict] = {}
+        locked_on: Dict[Tuple, Set[str]] = {}
+        committed: Dict[Tuple, PutStamp] = dict(self._recently_committed)
+        for pend in self._pending.values():
+            if pend.partition == rs.partition:
+                locked[pend.op_id] = {
+                    "key": pend.key,
+                    "client_ip": pend.client_ip,
+                    "client_ts": pend.client_ts,
+                }
+                locked_on.setdefault(pend.op_id, set()).add(self.name)
+        for rec in self.wal.replay():
+            if rec.partition == rs.partition and rec.op_id not in locked:
+                locked[rec.op_id] = {
+                    "key": rec.key,
+                    "client_ip": rec.client_addr,
+                    "client_ts": rec.client_ts,
+                }
+                locked_on.setdefault(rec.op_id, set()).add(self.name)
+        for peer in peers:
+            reply = yield from self._request(
+                self._peer_ip(peer),
+                {"type": "query_locks", "partition": rs.partition},
+                REQUEST_BYTES,
+                reply_type="query_locks_reply",
+            )
+            if reply is None:
+                continue
+            for entry in reply["locked"]:
+                op = tuple(entry["op_id"])
+                locked.setdefault(op, entry)
+                locked_on.setdefault(op, set()).add(peer)
+            for op, stamp in reply["committed"].items():
+                committed[tuple(op)] = stamp
+        for op, info in locked.items():
+            stamp = committed.get(op)
+            if stamp is None:
+                # Crash path: look for a committed version in the stores.
+                stamp = self._store_commit_evidence(
+                    info["key"], info["client_ip"], info["client_ts"]
+                )
+            if stamp is None:
+                for peer in peers:
+                    reply = yield from self._request(
+                        self._peer_ip(peer),
+                        {"type": "query_commit", **info},
+                        REQUEST_BYTES,
+                        reply_type="query_commit_reply",
+                    )
+                    if reply is not None and reply.get("stamp") is not None:
+                        stamp = reply["stamp"]
+                        break
+            if stamp is not None:
+                # Committed somewhere: the old primary had committed — the
+                # object may have been served already, so commit everywhere.
+                self._apply_commit(op, stamp)
+                body = {"type": "force_commit", "op_id": op, "stamp": stamp}
+            else:
+                self._apply_abort(op)
+                body = {"type": "force_abort", "op_id": op}
+            for peer in peers:
+                yield self.stack.tcp.send_message(
+                    self._peer_ip(peer), NODE_PORT, dict(body), ACK_BYTES
+                )
+
+    def _request(self, ip: IPv4Address, body: dict, size: int, reply_type: str):
+        """Request/response over the node TCP port with a timeout."""
+        token = (self.name, next(self._token_seq))
+        body = dict(body, token=token)
+        conn = yield self.stack.tcp.send_message(ip, NODE_PORT, body, size)
+        get = conn.inbox.get(
+            lambda m: (m.payload or {}).get("token") == token
+            and m.payload.get("type") == reply_type
+        )
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s)])
+        if get in got:
+            return got[get].payload
+        conn.inbox.cancel(get)
+        return None
+
+    # ------------------------------------------------------------------ failure reporting
+    def _strike(self, peer: str):
+        """Two consecutive timeouts on a peer ⇒ report it failed (§4.4)."""
+        self._timeout_strikes[peer] = self._timeout_strikes.get(peer, 0) + 1
+        if self._timeout_strikes[peer] >= 2:
+            self._timeout_strikes[peer] = 0
+            yield self.stack.tcp.send_message(
+                self.metadata_ip,
+                META_PORT,
+                {"type": "report_failure", "suspect": peer, "reporter": self.name},
+                REQUEST_BYTES,
+            )
+
+    # ------------------------------------------------------------------ heartbeats & stats
+    def _heartbeat_loop(self):
+        while True:
+            yield self.sim.timeout(self.config.heartbeat_interval_s)
+            if not self.host.up:
+                continue
+            stats = {p: sorted(c) for p, c in self._clients_seen.items()}
+            self._clients_seen.clear()
+            self.stack.udp_send(
+                self.metadata_ip,
+                META_PORT,
+                {"type": "hb", "node": self.name, "stats": stats},
+                HEARTBEAT_BYTES,
+            )
+
+    # ------------------------------------------------------------------ rejoin (§4.4)
+    def _rejoin(self):
+        """Contact the metadata service, fetch what we missed, report
+        consistency.  Returns the number of objects recovered."""
+        self._rejoining = True
+        reply = yield from self._request_meta(
+            {"type": "rejoin", "node": self.name}, reply_type="rejoin_ack"
+        )
+        recovered = 0
+        if reply is not None:
+            for wire in reply.get("replica_sets") or []:
+                self._on_membership(ReplicaSet.from_wire(wire))
+            for partition, handoffs in (reply.get("handoffs") or {}).items():
+                for handoff in handoffs:
+                    ip = self._peer_ip(handoff)
+                    if ip is None:
+                        continue
+                    data = yield from self._request(
+                        ip,
+                        {"type": "fetch_handoff", "partition": partition},
+                        REQUEST_BYTES,
+                        reply_type="handoff_data",
+                    )
+                    if data is None:
+                        continue
+                    for name, value, size, stamp in data["objects"]:
+                        yield self.disk.write(size, forced=True)
+                        self.store.put(StoredObject(name, value, size, stamp))
+                        recovered += 1
+        yield from self._request_meta(
+            {"type": "consistent", "node": self.name}, reply_type="consistent_ack"
+        )
+        self._rejoining = False
+        return recovered
+
+    def _request_meta(self, body: dict, reply_type: str):
+        conn = yield self.stack.tcp.send_message(
+            self.metadata_ip, META_PORT, body, REQUEST_BYTES
+        )
+        get = conn.inbox.get(lambda m: (m.payload or {}).get("type") == reply_type)
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s * 4)])
+        if get in got:
+            return got[get].payload
+        conn.inbox.cancel(get)
+        return None

@@ -1,0 +1,194 @@
+"""NICE cluster builder: wires the full system of Figure 1.
+
+Storage nodes, client nodes and the metadata service hang off an
+OpenFlow-enabled switch; the metadata service's controller module installs
+the vring mappings.  The builder mirrors the §6 deployment: one metadata
+node, ``n_storage_nodes`` storage servers, ``n_clients`` client machines,
+1 Gbps links.
+
+Client IPs are spread evenly across the client address space so the §4.5
+source-prefix load balancer sees a realistic client population.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..net import (
+    ControlPlane,
+    Host,
+    IPv4Address,
+    MacAddress,
+    Network,
+    OpenFlowSwitch,
+)
+from ..sim import RngRegistry, Simulator
+from ..transport import ProtocolStack
+from .client import NiceClient
+from .config import ClusterConfig
+from .controller import NiceControllerApp
+from .membership import PartitionMap
+from .metadata import MetadataService
+from .storage_node import NiceStorageNode
+from .vring import VirtualRing
+
+__all__ = ["NiceCluster"]
+
+#: Physical address plan.
+STORAGE_BASE = IPv4Address("10.0.0.1")
+METADATA_IP = IPv4Address("10.0.0.250")
+_MAC_BASE = 0x020000000100
+
+
+class NiceCluster:
+    """A fully-wired NICEKV deployment inside one simulator."""
+
+    def __init__(self, config: ClusterConfig = None, sim: Simulator = None):
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.sim = sim or Simulator()
+        self.rng = RngRegistry(cfg.seed)
+        self.network = Network(self.sim)
+        self.switch = OpenFlowSwitch(
+            self.sim, "sw0", lookup_latency_s=cfg.switch_lookup_latency_s
+        )
+        self.network.register(self.switch)
+        #: Client-side Open vSwitches (§5.1 "ovs" deployment; empty for "hw").
+        self.edge_switches = []
+
+        self.uni_vring = VirtualRing(cfg.unicast_vring, cfg.n_partitions)
+        self.mc_vring = VirtualRing(cfg.multicast_vring, cfg.n_partitions)
+
+        node_names = [f"n{i}" for i in range(cfg.n_storage_nodes)]
+        self.partition_map = PartitionMap.build(
+            node_names,
+            cfg.n_partitions,
+            cfg.replication_level,
+            ring_points_per_node=cfg.ring_points_per_node,
+        )
+
+        self.controller = NiceControllerApp(
+            cfg, self.partition_map, self.uni_vring, self.mc_vring
+        )
+        self.control_plane = ControlPlane(
+            self.sim, self.controller, latency_s=cfg.controller_latency_s
+        )
+        self.control_plane.attach(self.switch)
+        # §5.1: the CloudLab hardware switch forwards and multicasts but
+        # cannot modify destination addresses — the edge OVSes do that.
+        self.controller.register_switch(
+            self.switch, role="core", can_rewrite=(cfg.deployment == "hw")
+        )
+
+        # -- hosts ---------------------------------------------------------
+        self.directory: Dict[str, IPv4Address] = {}
+        mac = _MAC_BASE
+        storage_hosts: List[Host] = []
+        for i, name in enumerate(node_names):
+            host = Host(self.sim, name, STORAGE_BASE + i, MacAddress(mac))
+            mac += 1
+            self.network.register(host)
+            self.network.connect(
+                self.switch, host, cfg.link_bandwidth_bps, cfg.link_latency_s
+            )
+            self.controller.register_host(name, host.ip, host.mac)
+            self.directory[name] = host.ip
+            storage_hosts.append(host)
+
+        meta_host = Host(self.sim, "meta", METADATA_IP, MacAddress(mac))
+        mac += 1
+        self.network.register(meta_host)
+        self.network.connect(
+            self.switch, meta_host, cfg.link_bandwidth_bps, cfg.link_latency_s
+        )
+        self.controller.register_host("meta", meta_host.ip, meta_host.mac)
+
+        client_hosts: List[Host] = []
+        stride = max(1, cfg.client_space.num_addresses // max(cfg.n_clients, 1))
+        for i in range(cfg.n_clients):
+            ip = cfg.client_space.address + (i * stride) % cfg.client_space.num_addresses
+            host = Host(self.sim, f"c{i}", ip, MacAddress(mac))
+            mac += 1
+            self.network.register(host)
+            self.controller.register_host(f"c{i}", host.ip, host.mac)
+            if cfg.deployment == "ovs":
+                # Client-side Open vSwitch between the client and the fabric.
+                ovs = OpenFlowSwitch(
+                    self.sim, f"ovs{i}", lookup_latency_s=cfg.switch_lookup_latency_s
+                )
+                self.network.register(ovs)
+                self.network.connect(ovs, host, cfg.link_bandwidth_bps, cfg.link_latency_s)
+                uplink = self.network.connect(
+                    self.switch, ovs, cfg.link_bandwidth_bps, cfg.link_latency_s
+                )
+                uplink_port = (uplink.a if uplink.a.device is ovs else uplink.b).number
+                self.control_plane.attach(ovs)
+                self.controller.register_switch(
+                    ovs, role="edge", can_rewrite=True,
+                    client_ip=host.ip, uplink_port=uplink_port,
+                )
+                self.edge_switches.append(ovs)
+            else:
+                self.network.connect(
+                    self.switch, host, cfg.link_bandwidth_bps, cfg.link_latency_s
+                )
+            client_hosts.append(host)
+
+        # -- control plane bootstrap ----------------------------------------
+        self.controller.discover_topology(self.network)
+        self.controller.install_static_rules()
+        self.controller.sync_all()
+
+        # -- services ----------------------------------------------------------
+        meta_stack = ProtocolStack(self.sim, meta_host)
+        self.metadata = MetadataService(
+            self.sim, meta_stack, cfg, self.partition_map, self.controller
+        )
+
+        self.nodes: Dict[str, NiceStorageNode] = {}
+        for host, name in zip(storage_hosts, node_names):
+            node = NiceStorageNode(
+                self.sim,
+                host,
+                name,
+                cfg,
+                self.uni_vring,
+                self.mc_vring,
+                METADATA_IP,
+                self.directory,
+                rng=self.rng.stream(f"mc-loss:{name}") if cfg.multicast_chunk_loss else None,
+            )
+            self.metadata.register_node(name)
+            for rs in self.partition_map.partitions_of(name):
+                node.install_replica_set(rs)
+            self.nodes[name] = node
+
+        self.clients: List[NiceClient] = [
+            NiceClient(self.sim, host, cfg, self.uni_vring, self.mc_vring)
+            for host in client_hosts
+        ]
+
+    # -- conveniences -------------------------------------------------------------
+    def warm_up(self, duration: float = 0.05) -> None:
+        """Let flow-mods land and heartbeats start before measuring."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run(self, until: float = None) -> float:
+        return self.sim.run(until=until)
+
+    def node_of_partition(self, partition: int) -> NiceStorageNode:
+        """The current acting primary of ``partition``."""
+        return self.nodes[self.partition_map.get(partition).primary]
+
+    def replica_nodes(self, key: str) -> List[NiceStorageNode]:
+        """Replica set (primary first) currently serving ``key``'s partition."""
+        partition = self.uni_vring.subgroup_of_key(key)
+        rs = self.partition_map.get(partition)
+        return [self.nodes[n] for n in rs.get_targets() if n in self.nodes]
+
+    def reset_measurements(self) -> None:
+        self.network.reset_link_counters()
+        for host in self.network.devices.values():
+            if isinstance(host, Host):
+                host.tx_bytes.reset()
+                host.rx_bytes.reset()

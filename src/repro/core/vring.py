@@ -1,0 +1,84 @@
+"""Virtual consistent-hashing rings (§3.2, §4.2).
+
+Clients address a *virtual* storage system: a range of IP addresses
+organized as a consistent-hashing ring.  The vring is divided into
+power-of-two *subgroups* ("e.g., all vnodes in 10.10.1.0/24 form a
+subgroup"), and the metadata service maps each subgroup to one physical
+replica set via switch prefix rules.  NICE runs two vrings: unicast (gets)
+and multicast (puts), over disjoint prefixes.
+"""
+
+from __future__ import annotations
+
+from ..kv import RING_SIZE, key_hash
+from ..net import IPv4Address, IPv4Network
+
+__all__ = ["VirtualRing", "mc_group_address"]
+
+
+def mc_group_address(partition: int) -> IPv4Address:
+    """The IP multicast group address of one replica set (§4.2: the switch
+    rewrites multicast-vring packets "to be the IP multicast address of the
+    target replication set")."""
+    if not 0 <= partition < (1 << 24):
+        raise ValueError(f"partition {partition} out of multicast range")
+    return IPv4Address(0xE0000000 | partition)
+
+
+class VirtualRing:
+    """One virtual ring: an IP prefix split into equal subgroups."""
+
+    def __init__(self, prefix: IPv4Network, n_subgroups: int):
+        self.prefix = IPv4Network(prefix)
+        if n_subgroups < 1 or (n_subgroups & (n_subgroups - 1)):
+            raise ValueError(f"subgroup count must be a power of two: {n_subgroups}")
+        if n_subgroups > self.prefix.num_addresses:
+            raise ValueError(
+                f"{n_subgroups} subgroups do not fit in {self.prefix} "
+                f"({self.prefix.num_addresses} vnodes)"
+            )
+        self.n_subgroups = n_subgroups
+        shift = 0
+        while (1 << shift) < n_subgroups:
+            shift += 1
+        self.subgroup_prefixlen = self.prefix.prefixlen + shift
+        self._subgroup_size = self.prefix.num_addresses // n_subgroups
+
+    # -- client side: key -> vnode ------------------------------------------
+    def vnode_for_hash(self, h: int) -> IPv4Address:
+        """The vnode address serving ring position ``h``: the hash circle is
+        scaled linearly onto the vring's address range."""
+        offset = (h % RING_SIZE) * self.prefix.num_addresses // RING_SIZE
+        return self.prefix.address + offset
+
+    def vnode_for_key(self, name: str) -> IPv4Address:
+        return self.vnode_for_hash(key_hash(name))
+
+    # -- metadata side: subgroups --------------------------------------------
+    def subgroup_prefix(self, subgroup: int) -> IPv4Network:
+        """The CIDR block of vnode addresses forming ``subgroup``."""
+        if not 0 <= subgroup < self.n_subgroups:
+            raise ValueError(f"subgroup {subgroup} out of range 0..{self.n_subgroups - 1}")
+        base = self.prefix.address + subgroup * self._subgroup_size
+        return IPv4Network(base, self.subgroup_prefixlen)
+
+    def subgroup_of_hash(self, h: int) -> int:
+        """Partition index of ring position ``h`` (aligned with
+        :meth:`vnode_for_hash`: the vnode for ``h`` lies in this subgroup)."""
+        return (h % RING_SIZE) * self.n_subgroups // RING_SIZE
+
+    def subgroup_of_key(self, name: str) -> int:
+        return self.subgroup_of_hash(key_hash(name))
+
+    def subgroup_of_address(self, ip: IPv4Address) -> int:
+        """Which subgroup a vnode address belongs to."""
+        ip = IPv4Address(ip)
+        if ip not in self.prefix:
+            raise ValueError(f"{ip} is not in vring {self.prefix}")
+        return (ip - self.prefix.address) // self._subgroup_size
+
+    def __contains__(self, ip: IPv4Address) -> bool:
+        return IPv4Address(ip) in self.prefix
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VirtualRing {self.prefix} x{self.n_subgroups}>"

@@ -1,0 +1,23 @@
+"""KV storage engine substrate: consistent hashing, object store, disk,
+write-ahead log, locks and put timestamps."""
+
+from .disk import Disk
+from .hashring import RING_BITS, RING_SIZE, ConsistentHashRing, key_hash
+from .locks import LockTable
+from .store import ObjectStore, StoredObject
+from .timestamps import PutStamp
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "ConsistentHashRing",
+    "Disk",
+    "LockTable",
+    "LogRecord",
+    "ObjectStore",
+    "PutStamp",
+    "RING_BITS",
+    "RING_SIZE",
+    "StoredObject",
+    "WriteAheadLog",
+    "key_hash",
+]

@@ -1,0 +1,95 @@
+"""Simulated persistent storage device.
+
+Models an SSD (the testbed nodes have 120 GB SSDs, §6) as a capacity-1
+resource with per-op base latency plus byte-rate service time.  *Forced*
+writes (the gray boxes of Fig 3 — log appends and object writes that must
+be durable before acknowledging) additionally wait for a flush.
+
+Flushes are *group-committed*: concurrent forced writes share one flush
+cycle, as real write-ahead logs do — a lone put still pays the full flush
+latency, but a node absorbing hundreds of concurrent puts is not
+flush-count-bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Counter, Event, Resource, Simulator
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """One node's storage device; all IO serializes through it."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        write_bandwidth_bps: float = 400e6 * 8,
+        read_bandwidth_bps: float = 900e6 * 8,
+        base_latency_s: float = 60e-6,
+        flush_latency_s: float = 300e-6,
+        name: str = "disk",
+    ):
+        if write_bandwidth_bps <= 0 or read_bandwidth_bps <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.write_bandwidth_bps = write_bandwidth_bps
+        self.read_bandwidth_bps = read_bandwidth_bps
+        self.base_latency_s = base_latency_s
+        self.flush_latency_s = flush_latency_s
+        self._device = Resource(sim, capacity=1, name=f"{name}.device")
+        self._flush_waiters: List[Event] = []
+        self._flusher_running = False
+        self.bytes_written = Counter(f"{name}.bytes_written")
+        self.bytes_read = Counter(f"{name}.bytes_read")
+        self.writes = Counter(f"{name}.writes")
+        self.reads = Counter(f"{name}.reads")
+        self.flushes = Counter(f"{name}.flushes")
+
+    def write(self, nbytes: int, forced: bool = False) -> Event:
+        """Persist ``nbytes``; returns a Process to ``yield`` on."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size: {nbytes}")
+        return self.sim.process(self._io(nbytes, forced, write=True))
+
+    def read(self, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        return self.sim.process(self._io(nbytes, False, write=False))
+
+    def _io(self, nbytes: int, forced: bool, write: bool):
+        req = self._device.request()
+        yield req
+        try:
+            bw = self.write_bandwidth_bps if write else self.read_bandwidth_bps
+            yield self.sim.timeout(self.base_latency_s + nbytes * 8.0 / bw)
+            if write:
+                self.bytes_written.add(nbytes)
+                self.writes.add()
+            else:
+                self.bytes_read.add(nbytes)
+                self.reads.add()
+        finally:
+            req.release()
+        if forced:
+            # Group commit: join the next flush cycle.
+            done = Event(self.sim)
+            self._flush_waiters.append(done)
+            if not self._flusher_running:
+                self._flusher_running = True
+                self.sim.process(self._flusher())
+            yield done
+
+    def _flusher(self):
+        """Back-to-back flush cycles while demand exists; each cycle covers
+        every write that finished its transfer before the cycle started."""
+        while self._flush_waiters:
+            covered, self._flush_waiters = self._flush_waiters, []
+            yield self.sim.timeout(self.flush_latency_s)
+            self.flushes.add()
+            for ev in covered:
+                ev.succeed()
+        self._flusher_running = False

@@ -1,0 +1,143 @@
+"""Consistent hashing (Karger et al. [25]) — the object-space partitioner.
+
+Both NICE and NOOB place storage nodes on a hash ring (§3.1): every node is
+the primary replica for the arc it owns, and the R−1 ring successors are
+the secondaries.  Keys hash onto the same circle.
+
+The ring also exposes *partition index* helpers: NICE's virtual rings are
+divided into power-of-two subgroups, and each subgroup index maps onto the
+ring the same way a key does, keeping client-side vnode selection and
+metadata-service placement consistent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["key_hash", "ConsistentHashRing", "RING_BITS", "RING_SIZE"]
+
+#: The hash circle is [0, 2**32).
+RING_BITS = 32
+RING_SIZE = 1 << RING_BITS
+
+
+def key_hash(name: str) -> int:
+    """Position of an object name on the hash circle (deterministic)."""
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ConsistentHashRing:
+    """Nodes on a circle, each possibly at several virtual points.
+
+    ``points_per_node`` > 1 smooths arc sizes (the classic virtual-node
+    trick, [40]); node identity is whatever hashable the caller supplies.
+    """
+
+    def __init__(self, points_per_node: int = 1):
+        if points_per_node < 1:
+            raise ValueError(f"points_per_node must be >= 1: {points_per_node}")
+        self.points_per_node = points_per_node
+        self._points: List[int] = []  # sorted positions
+        self._owners: Dict[int, object] = {}  # position -> node id
+        self._nodes: Dict[object, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def nodes(self) -> Tuple:
+        return tuple(self._nodes)
+
+    @staticmethod
+    def _position(node_id: object, replica: int) -> int:
+        digest = hashlib.sha256(f"{node_id}#{replica}".encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    def add_node(self, node_id: object) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already on the ring")
+        positions = []
+        for i in range(self.points_per_node):
+            pos = self._position(node_id, i)
+            while pos in self._owners:  # extremely unlikely collision
+                pos = (pos + 1) % RING_SIZE
+            self._owners[pos] = node_id
+            bisect.insort(self._points, pos)
+            positions.append(pos)
+        self._nodes[node_id] = positions
+
+    def remove_node(self, node_id: object) -> None:
+        positions = self._nodes.pop(node_id, None)
+        if positions is None:
+            raise KeyError(f"node {node_id!r} not on the ring")
+        for pos in positions:
+            del self._owners[pos]
+            idx = bisect.bisect_left(self._points, pos)
+            del self._points[idx]
+
+    # -- lookups ------------------------------------------------------------
+    def successor(self, point: int) -> object:
+        """The node owning ``point`` (first ring point at or after it)."""
+        if not self._points:
+            raise LookupError("empty ring")
+        idx = bisect.bisect_left(self._points, point % RING_SIZE)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[self._points[idx]]
+
+    def successors(self, point: int, k: int) -> List[object]:
+        """The first ``k`` *distinct* nodes clockwise from ``point``.
+
+        This is the replica set: element 0 is the primary (§3.1).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1: {k}")
+        if k > len(self._nodes):
+            raise ValueError(f"asked for {k} distinct nodes, ring has {len(self._nodes)}")
+        result: List[object] = []
+        idx = bisect.bisect_left(self._points, point % RING_SIZE)
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[self._points[(idx + step) % n]]
+            if owner not in result:
+                result.append(owner)
+                if len(result) == k:
+                    break
+        return result
+
+    def node_for_key(self, name: str) -> object:
+        return self.successor(key_hash(name))
+
+    def replicas_for_key(self, name: str, r: int) -> List[object]:
+        return self.successors(key_hash(name), r)
+
+    # -- partition helpers ---------------------------------------------------
+    @staticmethod
+    def partition_point(partition: int, n_partitions: int) -> int:
+        """Ring position of partition ``partition`` of ``n_partitions``
+        equal arcs (used to place vring subgroups onto the ring)."""
+        if not 0 <= partition < n_partitions:
+            raise ValueError(f"partition {partition} out of range 0..{n_partitions - 1}")
+        return (partition * RING_SIZE) // n_partitions
+
+    @staticmethod
+    def partition_of_hash(h: int, n_partitions: int) -> int:
+        """Which of ``n_partitions`` equal arcs contains hash ``h``."""
+        return (h % RING_SIZE) * n_partitions // RING_SIZE
+
+    def arc_sizes(self) -> Dict[object, int]:
+        """Hash-space span owned by each node (load-balance diagnostics)."""
+        if not self._points:
+            return {}
+        sizes: Dict[object, int] = {node: 0 for node in self._nodes}
+        for i, pos in enumerate(self._points):
+            prev = self._points[i - 1]
+            span = (pos - prev) % RING_SIZE if i else (pos - self._points[-1]) % RING_SIZE
+            sizes[self._owners[pos]] += span
+        return sizes

@@ -1,0 +1,46 @@
+"""Put-operation timestamps (§4.3).
+
+The primary generates a commit stamp containing "the following quadruplet:
+primary address, primary timestamp, client address, and client timestamp".
+The quadruplet totally orders puts to the same object — including retries
+of the same put by the same client, which carry the same (client address,
+client timestamp) pair and therefore commit idempotently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PutStamp"]
+
+
+@dataclass(frozen=True, order=False)
+class PutStamp:
+    """Commit order token; compares by (primary_ts, primary, client, client_ts)."""
+
+    primary_addr: str
+    primary_ts: float
+    client_addr: str
+    client_ts: float
+
+    def _key(self) -> Tuple:
+        return (self.primary_ts, self.primary_addr, self.client_addr, self.client_ts)
+
+    def __lt__(self, other: "PutStamp") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "PutStamp") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "PutStamp") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "PutStamp") -> bool:
+        return self._key() >= other._key()
+
+    def same_client_attempt(self, other: "PutStamp") -> bool:
+        """True when both stamps describe the same client put (a retry)."""
+        return (
+            self.client_addr == other.client_addr and self.client_ts == other.client_ts
+        )

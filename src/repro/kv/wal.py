@@ -1,0 +1,86 @@
+"""Write-ahead operation log.
+
+Fig 3's ``+L``/``−L`` markers: a replica *forces* a log record before
+writing the object (gray box = durable), and deletes the record once the
+operation commits.  After a complete cluster failure "the persistent logs
+on the nodes will identify the latest put operations" (§4.4) — hence
+:meth:`replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Event
+from .disk import Disk
+from .timestamps import PutStamp
+
+__all__ = ["LogRecord", "WriteAheadLog"]
+
+#: Serialized size of one log record on disk (op id, key, stamp, lengths).
+RECORD_BYTES = 256
+
+
+@dataclass
+class LogRecord:
+    """One in-flight put operation.
+
+    The record carries the object payload (real logs write the data or a
+    pointer to the staged object): after a complete cluster failure the
+    reconciliation can commit straight from the log (§4.4).
+    """
+
+    op_id: Tuple
+    key: str
+    size_bytes: int
+    client_addr: str
+    client_ts: float
+    value: object = None
+    client_port: int = 0
+    partition: int = -1
+    committed: bool = False
+    stamp: Optional[PutStamp] = None
+
+
+class WriteAheadLog:
+    """Per-node durable operation log (backed by the node's disk)."""
+
+    def __init__(self, disk: Disk):
+        self.disk = disk
+        self._records: Dict[Tuple, LogRecord] = {}
+        self.appended = 0
+        self.removed = 0
+
+    def append(self, record: LogRecord) -> Event:
+        """Durably append (+L, forced write); returns a Process to yield on."""
+        self._records[record.op_id] = record
+        self.appended += 1
+        return self.disk.write(RECORD_BYTES, forced=True)
+
+    def mark_committed(self, op_id: Tuple, stamp: PutStamp) -> None:
+        """Record the commit stamp (in-place update before removal)."""
+        rec = self._records.get(op_id)
+        if rec is not None:
+            rec.committed = True
+            rec.stamp = stamp
+
+    def remove(self, op_id: Tuple) -> None:
+        """Delete the record (−L): cheap, not forced (Fig 3 shows −L white)."""
+        if self._records.pop(op_id, None) is not None:
+            self.removed += 1
+
+    def get(self, op_id: Tuple) -> Optional[LogRecord]:
+        return self._records.get(op_id)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def pending(self) -> List[LogRecord]:
+        """Uncommitted records (crash-recovery reconciliation input)."""
+        return [r for r in self._records.values() if not r.committed]
+
+    def replay(self) -> List[LogRecord]:
+        """All surviving records, oldest first — §4.4's complete-cluster-
+        failure path feeds these to the new primary's lock rules."""
+        return list(self._records.values())

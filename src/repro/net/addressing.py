@@ -1,0 +1,196 @@
+"""IPv4 and MAC addressing, including prefix (CIDR) matching.
+
+The NICE design leans on prefix matching: virtual-ring subgroups are
+power-of-two IP ranges (§3.2), and the load balancer divides the *client*
+address space into power-of-two source prefixes (§4.5).  These classes give
+OpenFlow-style longest-prefix semantics to the simulated switches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = ["IPv4Address", "IPv4Network", "MacAddress", "MULTICAST_NET"]
+
+
+class IPv4Address:
+    """An immutable IPv4 address (value type, hashable, orderable)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, str, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+            return
+        if isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 address: {value!r}")
+            acc = 0
+            for p in parts:
+                octet = int(p)
+                if not 0 <= octet <= 255:
+                    raise ValueError(f"malformed IPv4 address: {value!r}")
+                acc = (acc << 8) | octet
+            self._value = acc
+            return
+        if isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"IPv4 address out of range: {value:#x}")
+            self._value = value
+            return
+        raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for 224.0.0.0/4 (IP multicast group addresses)."""
+        return (self._value >> 28) == 0xE
+
+    def __str__(self) -> str:
+        v = self._value
+        return f"{v >> 24 & 255}.{v >> 16 & 255}.{v >> 8 & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and self._value == other._value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < other._value
+
+    def __le__(self, other: "IPv4Address") -> bool:
+        return self._value <= other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+    def __sub__(self, other: "IPv4Address") -> int:
+        return self._value - other._value
+
+
+class IPv4Network:
+    """A CIDR prefix, e.g. ``IPv4Network("10.10.1.0/24")``."""
+
+    __slots__ = ("address", "prefixlen", "_netmask")
+
+    def __init__(self, spec: Union[str, "IPv4Network"], prefixlen: int = None):
+        if isinstance(spec, IPv4Network):
+            self.address, self.prefixlen = spec.address, spec.prefixlen
+        elif isinstance(spec, str) and prefixlen is None:
+            addr, _, plen = spec.partition("/")
+            if not plen:
+                raise ValueError(f"missing prefix length in {spec!r}")
+            self.address = IPv4Address(addr)
+            self.prefixlen = int(plen)
+        else:
+            self.address = IPv4Address(spec)  # type: ignore[arg-type]
+            self.prefixlen = int(prefixlen)  # type: ignore[arg-type]
+        if not 0 <= self.prefixlen <= 32:
+            raise ValueError(f"invalid prefix length: {self.prefixlen}")
+        self._netmask = (0xFFFFFFFF << (32 - self.prefixlen)) & 0xFFFFFFFF if self.prefixlen else 0
+        if self.address.value & ~self._netmask & 0xFFFFFFFF:
+            # Normalize to the network address so equality behaves sanely.
+            self.address = IPv4Address(self.address.value & self._netmask)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefixlen)
+
+    def __contains__(self, addr: Union[IPv4Address, str]) -> bool:
+        a = IPv4Address(addr) if not isinstance(addr, IPv4Address) else addr
+        return (a.value & self._netmask) == self.address.value
+
+    def overlaps(self, other: "IPv4Network") -> bool:
+        shorter = self if self.prefixlen <= other.prefixlen else other
+        longer = other if shorter is self else self
+        return longer.address in shorter
+
+    def subnets(self, new_prefixlen: int) -> Iterator["IPv4Network"]:
+        """Yield the subdivisions of this prefix at ``new_prefixlen``."""
+        if new_prefixlen < self.prefixlen or new_prefixlen > 32:
+            raise ValueError(
+                f"cannot split /{self.prefixlen} into /{new_prefixlen} subnets"
+            )
+        step = 1 << (32 - new_prefixlen)
+        for base in range(self.address.value, self.address.value + self.num_addresses, step):
+            yield IPv4Network(IPv4Address(base), new_prefixlen)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Yield every address in the prefix (simulation: no net/bcast carve-out)."""
+        for v in range(self.address.value, self.address.value + self.num_addresses):
+            yield IPv4Address(v)
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.prefixlen}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IPv4Network)
+            and self.address == other.address
+            and self.prefixlen == other.prefixlen
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.prefixlen))
+
+
+#: All IP multicast groups.
+MULTICAST_NET = IPv4Network("224.0.0.0/4")
+
+
+class MacAddress:
+    """An immutable 48-bit MAC address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST: "MacAddress"
+
+    def __init__(self, value: Union[int, str, "MacAddress"]):
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, str):
+            parts = value.split(":")
+            if len(parts) != 6:
+                raise ValueError(f"malformed MAC address: {value!r}")
+            self._value = int("".join(parts), 16)
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFFFFFF:
+                raise ValueError(f"MAC address out of range: {value:#x}")
+            self._value = value
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFFFFFF
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+MacAddress.BROADCAST = MacAddress(0xFFFFFFFFFFFF)

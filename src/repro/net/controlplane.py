@@ -1,0 +1,108 @@
+"""The controller ↔ switch control channel.
+
+OpenFlow messages (packet-in, flow-mod, group-mod, packet-out) cross a
+TCP control connection in reality; here each message is applied after a
+configurable one-way latency.  The channel also counts messages so the
+membership-maintenance scalability claim (§4.1: O(S) switch updates per
+membership change) can be measured directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim import Counter, Simulator
+from .flowtable import Group, Rule
+from .packet import Packet
+
+__all__ = ["ControlPlane", "ControllerApp"]
+
+
+class ControllerApp:
+    """Base class for controller applications.
+
+    Subclasses (the NICE controller, the plain L3 learning switch) override
+    :meth:`on_packet_in`.  ``self.channel`` is bound by
+    :meth:`ControlPlane.attach`.
+    """
+
+    def __init__(self) -> None:
+        self.channel: Optional["ControlPlane"] = None
+
+    def on_packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ControlPlane:
+    """Binds one controller app to one or more switches with message latency."""
+
+    def __init__(self, sim: Simulator, controller: ControllerApp, latency_s: float = 500e-6):
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {latency_s}")
+        self.sim = sim
+        self.controller = controller
+        self.latency_s = latency_s
+        self.switches: List = []
+        controller.channel = self
+        self.messages_to_switch = Counter("ctrl.to_switch")
+        self.messages_to_controller = Counter("ctrl.to_controller")
+
+    def attach(self, switch) -> None:
+        """Register ``switch`` under this controller."""
+        switch.controller = self.controller
+        self.switches.append(switch)
+
+    # -- switch -> controller -------------------------------------------------
+    def packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
+        self.messages_to_controller.add()
+        self.sim.call_in(
+            self.latency_s,
+            self.controller.on_packet_in,
+            switch,
+            packet,
+            in_port_no,
+            buffer_id,
+        )
+
+    # -- controller -> switch ---------------------------------------------------
+    def flow_mod(self, switch, rule: Rule, done: Optional[Callable] = None) -> None:
+        """Install ``rule`` on ``switch`` after the control latency."""
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, self._apply, switch.install_rule, rule, done)
+
+    def flow_delete(self, switch, cookie: str, done: Optional[Callable] = None) -> None:
+        """Delete all rules with ``cookie`` on ``switch``."""
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, self._apply, switch.remove_cookie, cookie, done)
+
+    def group_mod(self, switch, group: Group, done: Optional[Callable] = None) -> None:
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, self._apply, switch.install_group, group, done)
+
+    def group_delete(self, switch, group_id: int, done: Optional[Callable] = None) -> None:
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, self._apply, switch.remove_group, group_id, done)
+
+    def packet_out(self, switch, packet: Packet, actions, done: Optional[Callable] = None) -> None:
+        """Inject ``packet`` at ``switch`` and run ``actions`` on it."""
+        self.messages_to_switch.add()
+        self.sim.call_in(
+            self.latency_s, self._apply, switch.apply_actions, (packet, actions, 0), done
+        )
+
+    def release_buffered(self, switch, buffer_id: int) -> None:
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, switch.release_buffered, buffer_id)
+
+    def drop_buffered(self, switch, buffer_id: int) -> None:
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, switch.drop_buffered, buffer_id)
+
+    @staticmethod
+    def _apply(func: Callable, arg, done: Optional[Callable]) -> None:
+        if isinstance(arg, tuple):
+            func(*arg)
+        else:
+            func(arg)
+        if done is not None:
+            done()

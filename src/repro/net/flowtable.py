@@ -1,0 +1,237 @@
+"""OpenFlow-style flow tables: matches, actions, rules and groups.
+
+This mirrors the OpenFlow 1.3 feature subset the paper uses (§2.2, §5):
+prefix wildcards on IP source/destination, exact matches on protocol and
+ports, set-field rewrites of destination IP/MAC, unicast output, group
+(multicast) output, and send-to-controller.  Rules carry priorities and
+optional idle timeouts; the controller owns rule lifecycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .addressing import IPv4Address, IPv4Network, MacAddress
+from .packet import Packet, Proto
+
+__all__ = [
+    "Match",
+    "Rule",
+    "FlowTable",
+    "Group",
+    "Bucket",
+    "Action",
+    "SetIpDst",
+    "SetIpSrc",
+    "SetEthDst",
+    "Output",
+    "OutputGroup",
+    "ToController",
+    "Drop",
+]
+
+
+def _as_network(value: Union[IPv4Address, IPv4Network, str, None]) -> Optional[IPv4Network]:
+    if value is None or isinstance(value, IPv4Network):
+        return value
+    if isinstance(value, IPv4Address):
+        return IPv4Network(value, 32)
+    if isinstance(value, str):
+        return IPv4Network(value) if "/" in value else IPv4Network(IPv4Address(value), 32)
+    raise TypeError(f"cannot interpret {value!r} as an IP match")
+
+
+@dataclass(frozen=True)
+class Match:
+    """Wildcard match over header fields; ``None`` means "don't care"."""
+
+    in_port: Optional[int] = None
+    eth_dst: Optional[MacAddress] = None
+    ip_src: Optional[IPv4Network] = None
+    ip_dst: Optional[IPv4Network] = None
+    proto: Optional[Proto] = None
+    dport: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ip_src", _as_network(self.ip_src))
+        object.__setattr__(self, "ip_dst", _as_network(self.ip_dst))
+
+    def matches(self, packet: Packet, in_port: Optional[int] = None) -> bool:
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.eth_dst is not None and packet.dst_mac != self.eth_dst:
+            return False
+        if self.ip_src is not None and packet.src_ip not in self.ip_src:
+            return False
+        if self.ip_dst is not None and packet.dst_ip not in self.ip_dst:
+            return False
+        if self.proto is not None and packet.proto != self.proto:
+            return False
+        if self.dport is not None and packet.dport != self.dport:
+            return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        for name in ("in_port", "eth_dst", "ip_src", "ip_dst", "proto", "dport"):
+            v = getattr(self, name)
+            if v is not None:
+                parts.append(f"{name}={v}")
+        return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"
+
+
+class Action:
+    """Base class for flow actions (applied in list order)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetIpDst(Action):
+    ip: IPv4Address
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ip", IPv4Address(self.ip))
+
+
+@dataclass(frozen=True)
+class SetIpSrc(Action):
+    ip: IPv4Address
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ip", IPv4Address(self.ip))
+
+
+@dataclass(frozen=True)
+class SetEthDst(Action):
+    mac: MacAddress
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    port: int
+
+
+@dataclass(frozen=True)
+class OutputGroup(Action):
+    group_id: int
+
+
+@dataclass(frozen=True)
+class ToController(Action):
+    pass
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    pass
+
+
+_rule_seq = itertools.count(1)
+
+
+@dataclass
+class Rule:
+    """A flow entry: priority + match + actions (+ optional idle timeout)."""
+
+    match: Match
+    actions: List[Action]
+    priority: int = 100
+    idle_timeout: Optional[float] = None
+    cookie: str = ""
+    seq: int = field(default_factory=lambda: next(_rule_seq))
+    packets: int = 0
+    bytes: int = 0
+    last_used: float = 0.0
+
+    def touch(self, packet: Packet, now: float) -> None:
+        self.packets += 1
+        self.bytes += packet.size_bytes
+        self.last_used = now
+
+
+class FlowTable:
+    """Priority-ordered rule set with OpenFlow-like lookup semantics.
+
+    Lookup returns the highest-priority matching rule; ties break on
+    insertion order (deterministic).  The table enforces a capacity so the
+    §4.6 switch-scalability analysis can be exercised for real.
+    """
+
+    def __init__(self, capacity: int = 128 * 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._rules: List[Rule] = []
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> tuple:
+        return tuple(self._rules)
+
+    def add(self, rule: Rule) -> Rule:
+        if len(self._rules) >= self.capacity:
+            raise OverflowError(
+                f"flow table full ({self.capacity} entries) — see §4.6 scalability"
+            )
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: (-r.priority, r.seq))
+        return rule
+
+    def remove(self, rule: Rule) -> None:
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            pass
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Delete all rules tagged with ``cookie``; returns removal count."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.cookie != cookie]
+        return before - len(self._rules)
+
+    def lookup(self, packet: Packet, in_port: Optional[int] = None) -> Optional[Rule]:
+        for rule in self._rules:
+            if rule.match.matches(packet, in_port):
+                return rule
+        return None
+
+    def expire_idle(self, now: float) -> int:
+        """Evict rules idle past their timeout; returns eviction count."""
+        keep = []
+        evicted = 0
+        for r in self._rules:
+            if r.idle_timeout is not None and now - r.last_used > r.idle_timeout:
+                evicted += 1
+            else:
+                keep.append(r)
+        self._rules = keep
+        return evicted
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One multicast replication leg: rewrite actions then an output port."""
+
+    actions: tuple
+    port: int
+
+
+@dataclass
+class Group:
+    """An OpenFlow ALL-type group: the packet is cloned into every bucket.
+
+    This is the switch-level multicast primitive NICE uses for replication
+    (§4.2): one ingress packet, one egress copy per replica port.
+    """
+
+    group_id: int
+    buckets: List[Bucket] = field(default_factory=list)
+    packets: int = 0
+
+    def __len__(self) -> int:
+        return len(self.buckets)

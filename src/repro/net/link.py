@@ -1,0 +1,184 @@
+"""Links, channels and ports.
+
+A :class:`Link` is a duplex cable: two independent unidirectional
+:class:`Channel` objects.  Each channel is a FIFO resource — concurrent
+transfers queue behind one another, which is the mechanism that reproduces
+the paper's contention effects (a NOOB primary pushing R−1 copies up a
+single 1 Gbps uplink, Figs 5–9).
+
+Transmission model (flow-burst store-and-forward; DESIGN.md §5): a packet
+holds the channel for ``size_bytes * 8 / bandwidth`` seconds, then is
+delivered to the far device after the propagation latency.  Channels count
+transmitted bytes for the network-load figures and can drop packets with a
+configured loss rate to exercise the reliable-multicast repair path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..sim import Counter, Resource, Simulator
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Device
+
+__all__ = ["Channel", "Link", "Port", "GBPS", "MBPS"]
+
+GBPS = 1_000_000_000.0
+MBPS = 1_000_000.0
+
+
+class Port:
+    """One attachment point of a device; at most one link plugs into it."""
+
+    __slots__ = ("device", "number", "link")
+
+    def __init__(self, device: "Device", number: int):
+        self.device = device
+        self.number = number
+        self.link: Optional[Link] = None
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the far end of the attached link (None if unplugged)."""
+        if self.link is None:
+            return None
+        return self.link.b if self.link.a is self else self.link.a
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission out of this port."""
+        if self.link is None:
+            raise RuntimeError(f"port {self.device.name}:{self.number} is unplugged")
+        self.link.channel_from(self).transmit(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Port {self.device.name}:{self.number}>"
+
+
+class Channel:
+    """A unidirectional wire with bandwidth, latency, loss and counters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Port,
+        dst: Port,
+        bandwidth_bps: float,
+        latency_s: float,
+        name: str = "",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {latency_s}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.name = name or f"{src.device.name}->{dst.device.name}"
+        self.tx_bytes = Counter(f"{self.name}.tx_bytes")
+        self.tx_packets = Counter(f"{self.name}.tx_packets")
+        self.dropped_packets = Counter(f"{self.name}.dropped")
+        self.loss_rate = 0.0
+        self._loss_rng: Optional[np.random.Generator] = None
+        self._busy = Resource(sim, capacity=1, name=f"{self.name}.wire")
+
+    def set_loss(self, rate: float, rng: np.random.Generator) -> None:
+        """Enable random packet loss (whole control packets; bulk bursts
+        lose chunks at the transport layer instead)."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1): {rate}")
+        self.loss_rate = rate
+        self._loss_rng = rng
+
+    def serialization_delay(self, packet: Packet) -> float:
+        return packet.size_bytes * 8.0 / self.bandwidth_bps
+
+    def transmit(self, packet: Packet) -> None:
+        """Start (or queue) transmission of ``packet``."""
+        self.sim.process(self._transmit(packet))
+
+    def _transmit(self, packet: Packet):
+        req = self._busy.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.serialization_delay(packet))
+            self.tx_bytes.add(packet.size_bytes)
+            self.tx_packets.add()
+            if self.loss_rate and self._loss_rng is not None:
+                if self._loss_rng.random() < self.loss_rate:
+                    self.dropped_packets.add()
+                    return
+            self.sim.call_in(self.latency_s, self._deliver, packet)
+        finally:
+            req.release()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.dst.device.handle_packet(packet, self.dst)
+
+    @property
+    def queued(self) -> int:
+        """Transfers waiting behind the one on the wire (diagnostics)."""
+        return self._busy.queued
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Channel {self.name} {self.bandwidth_bps/GBPS:g}Gbps>"
+
+
+class Link:
+    """A duplex link: two channels sharing configuration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 50e-6,
+        name: str = "",
+    ):
+        if a.link is not None or b.link is not None:
+            raise RuntimeError("port already linked")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.name = name or f"{a.device.name}<->{b.device.name}"
+        self.ab = Channel(sim, a, b, bandwidth_bps, latency_s)
+        self.ba = Channel(sim, b, a, bandwidth_bps, latency_s)
+        a.link = self
+        b.link = self
+
+    def channel_from(self, port: Port) -> Channel:
+        if port is self.a:
+            return self.ab
+        if port is self.b:
+            return self.ba
+        raise ValueError(f"{port!r} is not an endpoint of {self.name}")
+
+    @property
+    def channels(self) -> List[Channel]:
+        return [self.ab, self.ba]
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Reconfigure both directions (Fig 8 throttles replicas to 50 Mbps)."""
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        self.ab.bandwidth_bps = bandwidth_bps
+        self.ba.bandwidth_bps = bandwidth_bps
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ab.tx_bytes.value + self.ba.tx_bytes.value
+
+    def reset_counters(self) -> None:
+        for ch in self.channels:
+            ch.tx_bytes.reset()
+            ch.tx_packets.reset()
+            ch.dropped_packets.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name}>"

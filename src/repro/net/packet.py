@@ -1,0 +1,102 @@
+"""The packet model.
+
+Packets carry real header fields (the switch matches and rewrites them, as
+OpenFlow does) plus an opaque ``payload`` object for protocol messages.
+
+Two granularities share this one class (see DESIGN.md §5):
+
+* *control packets* — requests, acks, heartbeats: ``payload_bytes`` small,
+  one simulator event per hop.
+* *flow bursts* — bulk data: one Packet represents the whole chunked
+  transfer; ``payload_bytes`` is the object size and the wire size accounts
+  for one header per MTU-sized chunk, so link-load byte counters match what
+  the real chunked transfer would generate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+from .addressing import IPv4Address, MacAddress
+
+__all__ = ["Packet", "Proto", "MTU_BYTES", "HEADER_BYTES", "wire_size"]
+
+#: Chunk payload ceiling used by the NICEKV reliable multicast transport
+#: (§5: "each less than a single network MTU (1400 bytes)").
+MTU_BYTES = 1400
+
+#: Ethernet + IPv4 + UDP/TCP header overhead per chunk (14+20+20 rounded up
+#: with preamble/FCS).
+HEADER_BYTES = 66
+
+
+def wire_size(payload_bytes: int) -> int:
+    """Total bytes on the wire for ``payload_bytes`` of application data,
+    accounting for per-MTU-chunk headers.  Zero-byte messages still cost one
+    header (e.g. pure acks)."""
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload size: {payload_bytes}")
+    chunks = max(1, -(-payload_bytes // MTU_BYTES))
+    return payload_bytes + chunks * HEADER_BYTES
+
+
+class Proto(Enum):
+    """L3/L4 protocol discriminator for flow-table matching."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    ARP = "arp"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Proto.{self.name}"
+
+
+_uid = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated packet / flow burst."""
+
+    src_ip: IPv4Address
+    dst_ip: IPv4Address
+    proto: Proto
+    sport: int = 0
+    dport: int = 0
+    payload: Any = None
+    payload_bytes: int = 0
+    src_mac: Optional[MacAddress] = None
+    dst_mac: Optional[MacAddress] = None
+    uid: int = field(default_factory=lambda: next(_uid))
+    #: Forwarding trace (device names) — used by routing tests and to assert
+    #: single-hop claims; appended by switches and hosts.
+    trace: List[str] = field(default_factory=list)
+    #: Original (virtual) destination before any switch rewrite; set by the
+    #: first SetIpDst action so replies can echo the vnode a client targeted.
+    virtual_dst: Optional[IPv4Address] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload size: {self.payload_bytes}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this packet occupies on a wire (chunk headers included)."""
+        return wire_size(self.payload_bytes)
+
+    def copy(self) -> "Packet":
+        """Independent copy for multicast fan-out (fresh uid, shared payload)."""
+        return replace(self, uid=next(_uid), trace=list(self.trace))
+
+    def flow_key(self) -> Tuple:
+        """(src, dst, proto, sport, dport) — connection identification."""
+        return (self.src_ip, self.dst_ip, self.proto, self.sport, self.dport)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet#{self.uid} {self.proto.name} {self.src_ip}:{self.sport} -> "
+            f"{self.dst_ip}:{self.dport} {self.payload_bytes}B>"
+        )

@@ -1,0 +1,179 @@
+"""The OpenFlow-enabled switch.
+
+Forwarding pipeline: per-packet lookup latency, then highest-priority rule
+wins; its action list runs in order (header rewrites, then output /
+group-multicast / controller).  A table miss raises a *packet-in* to the
+attached controller and buffers the packet, exactly as OpenFlow reason
+``NO_MATCH`` does; the controller later releases or drops the buffer.
+
+Hardware vs software switching (§5.1 deployment experience): hardware
+lookup is ~5 µs; the one switch the authors found that could rewrite
+headers did it in software, three orders of magnitude slower — modeled by
+``software_rewrite_penalty`` so that ablation is runnable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Counter, Simulator
+from .flowtable import (
+    Action,
+    Drop,
+    FlowTable,
+    Group,
+    Output,
+    OutputGroup,
+    Rule,
+    SetEthDst,
+    SetIpDst,
+    SetIpSrc,
+    ToController,
+)
+from .link import Port
+from .packet import Packet
+from .topology import Device
+
+__all__ = ["OpenFlowSwitch", "FLOOD"]
+
+#: Pseudo-port: flood out of every port except the ingress.
+FLOOD = -1
+
+
+class OpenFlowSwitch(Device):
+    """A programmable switch with a flow table and a group (multicast) table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        lookup_latency_s: float = 5e-6,
+        table_capacity: int = 128 * 1024,
+        rewrite_penalty_s: float = 0.0,
+    ):
+        super().__init__(sim, name)
+        self.table = FlowTable(capacity=table_capacity)
+        self.groups: Dict[int, Group] = {}
+        self.lookup_latency_s = lookup_latency_s
+        #: Extra per-packet delay when a rule rewrites headers — 0 for the
+        #: client-side OVS deployment; set large to model the software-path
+        #: hardware switch of §5.1.
+        self.rewrite_penalty_s = rewrite_penalty_s
+        self.controller = None  # set by ControlPlane.attach
+        self._buffer_ids = itertools.count(1)
+        self._buffered: Dict[int, Tuple[Packet, int]] = {}
+        self.forwarded = Counter(f"{name}.forwarded")
+        self.table_misses = Counter(f"{name}.table_misses")
+        self.dropped = Counter(f"{name}.dropped")
+
+    # -- data plane ---------------------------------------------------------
+    def handle_packet(self, packet: Packet, in_port: Port) -> None:
+        self.sim.call_in(self.lookup_latency_s, self._pipeline, packet, in_port.number)
+
+    def _pipeline(self, packet: Packet, in_port_no: int) -> None:
+        rule = self.table.lookup(packet, in_port_no)
+        if rule is None:
+            self._packet_in(packet, in_port_no)
+            return
+        rule.touch(packet, self.sim.now)
+        packet.trace.append(self.name)
+        self.apply_actions(packet, rule.actions, in_port_no)
+
+    def apply_actions(self, packet: Packet, actions, in_port_no: int) -> None:
+        """Run an action list on ``packet`` (used by rules and packet-out)."""
+        rewrote = False
+        for action in actions:
+            if isinstance(action, SetIpDst):
+                if packet.virtual_dst is None:
+                    packet.virtual_dst = packet.dst_ip
+                packet.dst_ip = action.ip
+                rewrote = True
+            elif isinstance(action, SetIpSrc):
+                packet.src_ip = action.ip
+                rewrote = True
+            elif isinstance(action, SetEthDst):
+                packet.dst_mac = action.mac
+                rewrote = True
+            elif isinstance(action, Output):
+                self._output(packet.copy(), action.port, in_port_no, rewrote)
+            elif isinstance(action, OutputGroup):
+                self._output_group(packet, action.group_id, in_port_no, rewrote)
+            elif isinstance(action, ToController):
+                self._packet_in(packet, in_port_no)
+            elif isinstance(action, Drop):
+                self.dropped.add()
+                return
+            else:
+                raise TypeError(f"{self.name}: unknown action {action!r}")
+
+    def _output(self, packet: Packet, port_no: int, in_port_no: int, rewrote: bool) -> None:
+        delay = self.rewrite_penalty_s if rewrote else 0.0
+        if port_no == FLOOD:
+            for no, port in self.ports.items():
+                if no != in_port_no and port.link is not None:
+                    self._emit(packet.copy(), port, delay)
+            return
+        port = self.ports.get(port_no)
+        if port is None or port.link is None:
+            self.dropped.add()
+            return
+        self._emit(packet, port, delay)
+
+    def _emit(self, packet: Packet, port: Port, delay: float) -> None:
+        self.forwarded.add()
+        if delay > 0:
+            self.sim.call_in(delay, port.send, packet)
+        else:
+            port.send(packet)
+
+    def _output_group(self, packet: Packet, group_id: int, in_port_no: int, rewrote: bool) -> None:
+        group = self.groups.get(group_id)
+        if group is None:
+            self.dropped.add()
+            return
+        group.packets += 1
+        for bucket in group.buckets:
+            clone = packet.copy()
+            self.apply_actions(clone, list(bucket.actions) + [Output(bucket.port)], in_port_no)
+
+    # -- controller interaction ----------------------------------------------
+    def _packet_in(self, packet: Packet, in_port_no: int) -> None:
+        self.table_misses.add()
+        if self.controller is None:
+            self.dropped.add()
+            return
+        buffer_id = next(self._buffer_ids)
+        self._buffered[buffer_id] = (packet, in_port_no)
+        self.controller.channel.packet_in(self, packet, in_port_no, buffer_id)
+
+    def release_buffered(self, buffer_id: int) -> None:
+        """Re-run the pipeline for a buffered packet (post flow-mod)."""
+        entry = self._buffered.pop(buffer_id, None)
+        if entry is not None:
+            self._pipeline(*entry)
+
+    def drop_buffered(self, buffer_id: int) -> None:
+        if self._buffered.pop(buffer_id, None) is not None:
+            self.dropped.add()
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffered)
+
+    # -- table management (invoked via the control plane) ---------------------
+    def install_rule(self, rule: Rule) -> Rule:
+        return self.table.add(rule)
+
+    def remove_rule(self, rule: Rule) -> None:
+        self.table.remove(rule)
+
+    def remove_cookie(self, cookie: str) -> int:
+        return self.table.remove_by_cookie(cookie)
+
+    def install_group(self, group: Group) -> Group:
+        self.groups[group.group_id] = group
+        return group
+
+    def remove_group(self, group_id: int) -> None:
+        self.groups.pop(group_id, None)

@@ -1,0 +1,92 @@
+"""Devices, the network container, and topology builders.
+
+The evaluation platform (§6) is a single OpenFlow rack switch with 30
+1 Gbps hosts; the deployed variant (§5.1) adds a client-side Open vSwitch
+per client because the hardware switch cannot rewrite headers.  Both are
+built here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..sim import Simulator
+from .link import GBPS, Link, Port
+from .packet import Packet
+
+__all__ = ["Device", "Network"]
+
+
+class Device:
+    """Anything with ports: hosts and switches derive from this."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.ports: Dict[int, Port] = {}
+        self._next_port = 1
+
+    def new_port(self) -> Port:
+        port = Port(self, self._next_port)
+        self.ports[self._next_port] = port
+        self._next_port += 1
+        return port
+
+    def handle_packet(self, packet: Packet, in_port: Port) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Network:
+    """Container tracking every device and link; owns global byte counters."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.devices: Dict[str, Device] = {}
+        self.links: List[Link] = []
+
+    def register(self, device: Device) -> Device:
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+        return device
+
+    def connect(
+        self,
+        a: Device,
+        b: Device,
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 50e-6,
+    ) -> Link:
+        """Create a duplex link between fresh ports on ``a`` and ``b``."""
+        link = Link(self.sim, a.new_port(), b.new_port(), bandwidth_bps, latency_s)
+        self.links.append(link)
+        return link
+
+    def link_between(self, a: Device, b: Device) -> Optional[Link]:
+        for link in self.links:
+            ends = {link.a.device, link.b.device}
+            if ends == {a, b}:
+                return link
+        return None
+
+    # -- measurement (Figs 6-7) ------------------------------------------------
+    def total_link_bytes(self) -> int:
+        """Sum of bytes transmitted over every channel — the paper's
+        "total network link load" metric (Fig 6)."""
+        return sum(link.total_bytes for link in self.links)
+
+    def reset_link_counters(self) -> None:
+        for link in self.links:
+            link.reset_counters()
+
+    def host_io_bytes(self, device: Device) -> int:
+        """Bytes sent + received on ``device``'s access link(s) — the Fig 7
+        per-node storage-load metric."""
+        total = 0
+        for link in self.links:
+            if link.a.device is device or link.b.device is device:
+                total += link.total_bytes
+        return total

@@ -1,0 +1,18 @@
+"""NOOB baselines: the network-oblivious storage designs NICE is compared
+against (§2.1, §6) — ROG/RAG/RAC access, primary-only/2PC/quorum/chain
+replication."""
+
+from .client import NoobClient
+from .config import GW_PORT, NoobConfig
+from .gateway import Gateway
+from .storage_node import NoobStorageNode
+from .system import NoobCluster
+
+__all__ = [
+    "GW_PORT",
+    "Gateway",
+    "NoobClient",
+    "NoobCluster",
+    "NoobConfig",
+    "NoobStorageNode",
+]

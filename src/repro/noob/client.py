@@ -1,0 +1,142 @@
+"""NOOB client library (§2.1 access mechanisms).
+
+* **RAC** — replica-aware client: holds the placement metadata (the cache
+  of [33]) and sends straight to the responsible node.  Gets may
+  round-robin over replicas when the consistency mode keeps them identical
+  (the NOOB-2PC configuration of Fig 10).
+* **RAG/ROG** — clients send everything to a gateway.
+
+Requests and data travel over TCP; replies come straight from the serving
+node to the client's reply socket.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.client import OpResult
+from ..core.config import CLIENT_PORT, NODE_PORT, REQUEST_BYTES
+from ..core.membership import PartitionMap
+from ..kv import ConsistentHashRing, key_hash
+from ..net import Host, IPv4Address
+from ..sim import AnyOf, Counter, Event, Simulator, Tally
+from ..transport import ProtocolStack
+from .config import GW_PORT, NoobConfig
+
+__all__ = ["NoobClient"]
+
+
+class NoobClient:
+    """One client machine under the configured access mode."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        config: NoobConfig,
+        partition_map: PartitionMap,
+        directory: Dict[str, IPv4Address],
+        gateway_ips: List[IPv4Address],
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.partition_map = partition_map
+        self.directory = directory
+        self.gateway_ips = gateway_ips
+        self.rng = rng
+        self.stack = ProtocolStack(sim, host)
+        self._reply_inbox = self.stack.tcp.listen(CLIENT_PORT)
+        self._waiters: Dict[Tuple, Event] = {}
+        self._op_seq = itertools.count(1)
+        self._rr = 0
+        self.put_latency = Tally(f"{host.name}.put")
+        self.get_latency = Tally(f"{host.name}.get")
+        self.failures = Counter(f"{host.name}.failures")
+        self.retries = Counter(f"{host.name}.retries")
+        sim.process(self._reply_loop())
+
+    @property
+    def ip(self) -> IPv4Address:
+        return self.host.ip
+
+    def _reply_loop(self):
+        while True:
+            msg = yield self._reply_inbox.get()
+            body = msg.payload or {}
+            op_id = tuple(body.get("op_id", ()))
+            waiter = self._waiters.pop(op_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(body)
+
+    # -- target selection ------------------------------------------------------
+    def _replicas_of(self, key: str) -> List[str]:
+        partition = ConsistentHashRing.partition_of_hash(
+            key_hash(key), len(self.partition_map)
+        )
+        rs = self.partition_map.get(partition)
+        return [rs.primary] + [m for m in rs.members if m != rs.primary]
+
+    def _request_target(self, key: str, is_get: bool) -> Tuple[IPv4Address, int]:
+        if self.config.access in ("rog", "rag"):
+            gw = self.gateway_ips[self._rr % len(self.gateway_ips)]
+            self._rr += 1
+            return gw, GW_PORT
+        replicas = self._replicas_of(key)
+        if (
+            is_get
+            and self.config.get_lb == "round_robin"
+            and len(replicas) > 1
+            and self.config.consistency in ("2pc", "chain")
+        ):
+            pick = replicas[int(self.rng.integers(len(replicas)))]
+            return self.directory[pick], NODE_PORT
+        return self.directory[replicas[0]], NODE_PORT
+
+    # -- operations ---------------------------------------------------------------
+    def put(self, key: str, value, size: int, max_retries: int = 3):
+        return self.sim.process(self._op("put", key, value, size, max_retries))
+
+    def get(self, key: str, max_retries: int = 3):
+        return self.sim.process(self._op("get", key, None, REQUEST_BYTES, max_retries))
+
+    def _op(self, kind: str, key: str, value, size: int, max_retries: int):
+        t0 = self.sim.now
+        client_ts = self.sim.now
+        for attempt in range(max_retries + 1):
+            op_id = (str(self.ip), next(self._op_seq))
+            waiter = Event(self.sim)
+            self._waiters[op_id] = waiter
+            target_ip, target_port = self._request_target(key, is_get=(kind == "get"))
+            body = {
+                "type": kind,
+                "op_id": op_id,
+                "key": key,
+                "client_ip": str(self.ip),
+                "client_port": CLIENT_PORT,
+                "client_ts": client_ts,
+            }
+            if kind == "put":
+                body["value"] = value
+                body["size"] = size
+            self.stack.tcp.send_message(target_ip, target_port, body, size)
+            got = yield AnyOf(
+                self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
+            )
+            self._waiters.pop(op_id, None)
+            if waiter in got:
+                reply = got[waiter]
+                latency = self.sim.now - t0
+                if reply.get("status") == "ok":
+                    (self.put_latency if kind == "put" else self.get_latency).observe(latency)
+                    return OpResult(True, latency, attempt, value=reply.get("value"))
+                if kind == "get":
+                    return OpResult(False, latency, attempt, status=reply.get("status", "error"))
+            if attempt < max_retries:
+                self.retries.add()
+        self.failures.add()
+        return OpResult(False, self.sim.now - t0, max_retries, status="timeout")

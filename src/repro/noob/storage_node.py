@@ -1,0 +1,424 @@
+"""NOOB storage node: end-host replication over point-to-point TCP (§2.1).
+
+Everything the network does for NICE happens here in server code: the
+primary fans the object out over R−1 unicast TCP connections (primary-only
+and quorum modes), or runs two explicit 2PC rounds, or pushes the object
+down a replication chain [43].  The node keeps *full membership* — the
+complete partition map — as production NOOB systems do (§2.1), so any node
+can forward a misdirected request (the ROG extra hop).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import ACK_BYTES, CLIENT_PORT, COMMIT_BYTES, NODE_PORT, REQUEST_BYTES
+from ..core.membership import PartitionMap
+from ..kv import (
+    ConsistentHashRing,
+    Disk,
+    LockTable,
+    LogRecord,
+    ObjectStore,
+    PutStamp,
+    StoredObject,
+    WriteAheadLog,
+    key_hash,
+)
+from ..net import Host, IPv4Address
+from ..sim import AllOf, AnyOf, Counter, Event, Resource, Simulator
+from ..transport import ProtocolStack
+from .config import NoobConfig
+
+__all__ = ["NoobStorageNode"]
+
+
+class NoobStorageNode:
+    """One NOOB storage server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        name: str,
+        config: NoobConfig,
+        partition_map: PartitionMap,
+        directory: Dict[str, IPv4Address],
+    ):
+        self.sim = sim
+        self.host = host
+        self.name = name
+        self.config = config
+        #: Full membership (§2.1): the complete map, not an O(R) slice.
+        self.partition_map = partition_map
+        self.directory = directory
+        self.stack = ProtocolStack(sim, host)
+        self.cpu = Resource(sim, capacity=1, name=f"{name}.cpu")
+        self.disk = Disk(sim, name=f"{name}.disk")
+        self.store = ObjectStore()
+        self.wal = WriteAheadLog(self.disk)
+        self.locks = LockTable()
+        self._inbox = self.stack.tcp.listen(NODE_PORT)
+        self._token_seq = itertools.count(1)
+        self.puts_served = Counter(f"{name}.puts")
+        self.gets_served = Counter(f"{name}.gets")
+        self.forwards = Counter(f"{name}.forwards")
+        self.membership_updates = Counter(f"{name}.membership_updates")
+        sim.process(self._serve_loop())
+
+    @property
+    def ip(self) -> IPv4Address:
+        return self.host.ip
+
+    # -- helpers -----------------------------------------------------------------
+    def partition_of(self, key: str) -> int:
+        return ConsistentHashRing.partition_of_hash(key_hash(key), len(self.partition_map))
+
+    def replicas_of(self, key: str) -> List[str]:
+        rs = self.partition_map.get(self.partition_of(key))
+        return [rs.primary] + [m for m in rs.members if m != rs.primary]
+
+    def _send(self, ip: IPv4Address, body: dict, size: int) -> Event:
+        return self.stack.tcp.send_message(ip, NODE_PORT, body, size)
+
+    def _cpu_work(self):
+        """One request's worth of CPU service time (serialized per node)."""
+        cost = self.config.node_cpu_per_op_s
+        if cost <= 0:
+            return
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            req.release()
+
+    def _reply_client(self, request: dict, body: dict, size: int) -> None:
+        self.stack.tcp.send_message(
+            IPv4Address(request["client_ip"]), request["client_port"], body, size
+        )
+
+    # -- dispatch --------------------------------------------------------------------
+    def _serve_loop(self):
+        while True:
+            msg = yield self._inbox.get()
+            body = msg.payload or {}
+            kind = body.get("type")
+            if kind == "put":
+                self.sim.process(self._handle_put(body))
+            elif kind == "get":
+                self.sim.process(self._handle_get(body))
+            elif kind == "replicate":
+                self.sim.process(self._handle_replicate(msg, body))
+            elif kind == "prepare":
+                self.sim.process(self._handle_prepare(msg, body))
+            elif kind == "commit2pc":
+                self.sim.process(self._handle_commit2pc(msg, body))
+            elif kind == "chain_put":
+                self.sim.process(self._handle_chain_put(body))
+            elif kind == "read_version":
+                self.sim.process(self._handle_read_version(msg, body))
+            elif kind == "membership_update":
+                self.membership_updates.add()
+                self.sim.process(self._ack(msg))
+
+    def _ack(self, msg):
+        yield msg.conn.send({"type": "membership_ack"}, ACK_BYTES)
+
+    def _handle_read_version(self, msg, body: dict):
+        """Quorum-read participant: return our version of the object."""
+        yield from self._cpu_work()
+        obj = self.store.get(body["key"])
+        if obj is not None:
+            yield self.disk.read(obj.size_bytes)
+        yield msg.conn.send(
+            {
+                "type": "read_version_reply",
+                "token": body["token"],
+                "stamp": obj.stamp if obj else None,
+                "value": obj.value if obj else None,
+                "size": obj.size_bytes if obj else 0,
+            },
+            (obj.size_bytes if obj else 0) + ACK_BYTES,
+        )
+
+    def _read_version(self, peer: str, key: str):
+        token = (self.name, next(self._token_seq))
+        conn = yield self._send(
+            self.directory[peer],
+            {"type": "read_version", "key": key, "token": token},
+            REQUEST_BYTES,
+        )
+        get = conn.inbox.get(lambda m: (m.payload or {}).get("token") == token)
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s * 2)])
+        if get in got:
+            return got[get].payload
+        conn.inbox.cancel(get)
+        return None
+
+    # -- put coordination ----------------------------------------------------------------
+    def _handle_put(self, body: dict):
+        yield from self._cpu_work()
+        key = body["key"]
+        replicas = self.replicas_of(key)
+        if replicas[0] != self.name:
+            # Misdirected (ROG random node): one extra hop to the primary.
+            self.forwards.add()
+            yield self._send(self.directory[replicas[0]], dict(body), body["size"])
+            return
+        secondaries = replicas[1:]
+        mode = self.config.consistency
+        if mode == "primary":
+            yield from self._put_primary_only(body, secondaries)
+        elif mode == "2pc":
+            yield from self._put_2pc(body, secondaries)
+        elif mode == "quorum":
+            yield from self._put_quorum(body, secondaries)
+        elif mode == "chain":
+            yield from self._put_chain(body, replicas)
+
+    def _stamp(self, body: dict) -> PutStamp:
+        return PutStamp(str(self.ip), self.sim.now, body["client_ip"], body["client_ts"])
+
+    def _commit_local(self, body: dict, stamp: PutStamp):
+        yield self.disk.write(body["size"], forced=True)
+        self.store.put(StoredObject(body["key"], body["value"], body["size"], stamp))
+
+    def _replication_request(self, peer: str, body: dict, stamp: PutStamp, msg_type: str):
+        """One unicast copy to one secondary; completes on its app ack.
+
+        Each outbound copy costs the primary CPU time — the end-host
+        replication work NICE offloads to the switch (§4.2).
+        """
+        yield from self._cpu_work()
+        token = (self.name, next(self._token_seq))
+        conn = yield self._send(
+            self.directory[peer],
+            {
+                "type": msg_type,
+                "token": token,
+                "key": body["key"],
+                "value": body["value"],
+                "size": body["size"],
+                "stamp": stamp,
+                "op_id": tuple(body["op_id"]),
+                "client_ip": body["client_ip"],
+                "client_ts": body["client_ts"],
+            },
+            body["size"],
+        )
+        get = conn.inbox.get(lambda m: (m.payload or {}).get("token") == token)
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s * 4)])
+        if get in got:
+            return got[get].payload
+        conn.inbox.cancel(get)
+        return None
+
+    def _put_primary_only(self, body: dict, secondaries: List[str]):
+        """Primary-backup: write locally, fan out R−1 unicast copies, ack
+        client when every replica confirmed."""
+        stamp = self._stamp(body)
+        transfers = [
+            self.sim.process(self._replication_request(s, body, stamp, "replicate"))
+            for s in secondaries
+        ]
+        yield from self._commit_local(body, stamp)
+        if transfers:
+            yield AllOf(self.sim, transfers)
+        self.puts_served.add()
+        self._reply_client(body, {"type": "put_reply", "op_id": tuple(body["op_id"]), "status": "ok"}, ACK_BYTES)
+
+    def _put_2pc(self, body: dict, secondaries: List[str]):
+        """Two explicit rounds (Fig 2's dashed arrows): prepare (data) then
+        commit, each acked by every secondary."""
+        op_id = tuple(body["op_id"])
+        key = body["key"]
+        yield self.locks.request(self.sim, key, op_id)
+        yield self.wal.append(LogRecord(op_id, key, body["size"], body["client_ip"], body["client_ts"]))
+        yield self.disk.write(body["size"], forced=False)  # log flush covers it
+        stamp = self._stamp(body)
+        prepares = [
+            self.sim.process(self._replication_request(s, body, stamp, "prepare"))
+            for s in secondaries
+        ]
+        if prepares:
+            replies = yield AllOf(self.sim, prepares)
+            if any(v is None for v in replies.values()):
+                self.locks.release(key, op_id)
+                self.wal.remove(op_id)
+                self._reply_client(body, {"type": "put_reply", "op_id": op_id, "status": "fail"}, ACK_BYTES)
+                return
+        commits = [
+            self.sim.process(self._commit_request(s, op_id, key, stamp))
+            for s in secondaries
+        ]
+        self.store.put(StoredObject(key, body["value"], body["size"], stamp))
+        self.wal.remove(op_id)
+        self.locks.release(key, op_id)
+        if commits:
+            yield AllOf(self.sim, commits)
+        self.puts_served.add()
+        self._reply_client(body, {"type": "put_reply", "op_id": op_id, "status": "ok"}, ACK_BYTES)
+
+    def _commit_request(self, peer: str, op_id: Tuple, key: str, stamp: PutStamp):
+        token = (self.name, next(self._token_seq))
+        conn = yield self._send(
+            self.directory[peer],
+            {"type": "commit2pc", "token": token, "op_id": op_id, "key": key, "stamp": stamp},
+            COMMIT_BYTES,
+        )
+        get = conn.inbox.get(lambda m: (m.payload or {}).get("token") == token)
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s * 4)])
+        if get in got:
+            return got[get].payload
+        conn.inbox.cancel(get)
+        return None
+
+    def _put_quorum(self, body: dict, secondaries: List[str]):
+        """Quorum write: the primary concurrently unicasts to *all* replicas
+        but acks the client after the write-set is met.  The remaining
+        transfers keep running — the link contention the paper blames for
+        NOOB's Fig 8 behaviour."""
+        stamp = self._stamp(body)
+        k = self.config.quorum_k
+        transfers = [
+            self.sim.process(self._replication_request(s, body, stamp, "replicate"))
+            for s in secondaries
+        ]
+        yield from self._commit_local(body, stamp)
+        needed = k - 1  # local write counts toward the write set
+        if needed > 0:
+            done = Event(self.sim)
+            state = {"acks": 0}
+
+            def on_done(ev):
+                if ev.ok and ev.value is not None:
+                    state["acks"] += 1
+                    if state["acks"] >= needed and not done.triggered:
+                        done.succeed()
+
+            for t in transfers:
+                t.add_callback(on_done)
+            if len(transfers) >= needed:
+                yield done
+        self.puts_served.add()
+        self._reply_client(body, {"type": "put_reply", "op_id": tuple(body["op_id"]), "status": "ok"}, ACK_BYTES)
+
+    def _put_chain(self, body: dict, replicas: List[str]):
+        """Chain replication [43]: store locally, pass the object down the
+        chain; the tail acknowledges the client."""
+        stamp = self._stamp(body)
+        yield from self._commit_local(body, stamp)
+        yield from self._chain_forward(body, replicas, position=0, stamp=stamp)
+
+    def _chain_forward(self, body: dict, replicas: List[str], position: int, stamp: PutStamp):
+        if position + 1 < len(replicas):
+            nxt = replicas[position + 1]
+            yield self._send(
+                self.directory[nxt],
+                {
+                    "type": "chain_put",
+                    "key": body["key"],
+                    "value": body["value"],
+                    "size": body["size"],
+                    "stamp": stamp,
+                    "op_id": tuple(body["op_id"]),
+                    "client_ip": body["client_ip"],
+                    "client_port": body["client_port"],
+                    "client_ts": body["client_ts"],
+                    "position": position + 1,
+                },
+                body["size"],
+            )
+        else:
+            self.puts_served.add()
+            self._reply_client(
+                body, {"type": "put_reply", "op_id": tuple(body["op_id"]), "status": "ok"}, ACK_BYTES
+            )
+
+    # -- replica-side handlers --------------------------------------------------------------
+    def _handle_replicate(self, msg, body: dict):
+        yield from self._cpu_work()
+        yield self.disk.write(body["size"], forced=True)
+        self.store.put(StoredObject(body["key"], body["value"], body["size"], body["stamp"]))
+        yield msg.conn.send({"type": "replicate_ack", "token": body["token"]}, ACK_BYTES)
+
+    def _handle_prepare(self, msg, body: dict):
+        yield from self._cpu_work()
+        op_id = tuple(body["op_id"])
+        key = body["key"]
+        yield self.locks.request(self.sim, key, op_id)
+        yield self.wal.append(LogRecord(op_id, key, body["size"], body["client_ip"], body["client_ts"]))
+        yield self.disk.write(body["size"], forced=False)  # log flush covers it
+        self._pending_value = getattr(self, "_pending_value", {})
+        self._pending_value[op_id] = (body["value"], body["size"])
+        yield msg.conn.send({"type": "prepare_ack", "token": body["token"]}, ACK_BYTES)
+
+    def _handle_commit2pc(self, msg, body: dict):
+        op_id = tuple(body["op_id"])
+        pend = getattr(self, "_pending_value", {}).pop(op_id, None)
+        if pend is not None:
+            value, size = pend
+            self.store.put(StoredObject(body["key"], value, size, body["stamp"]))
+        self.wal.remove(op_id)
+        self.locks.release(body["key"], op_id)
+        yield msg.conn.send({"type": "commit_ack", "token": body["token"]}, ACK_BYTES)
+
+    def _handle_chain_put(self, body: dict):
+        yield from self._cpu_work()
+        yield self.disk.write(body["size"], forced=True)
+        self.store.put(StoredObject(body["key"], body["value"], body["size"], body["stamp"]))
+        replicas = self.replicas_of(body["key"])
+        yield from self._chain_forward(body, replicas, body["position"], body["stamp"])
+
+    # -- gets ------------------------------------------------------------------------------
+    def _handle_get(self, body: dict):
+        yield from self._cpu_work()
+        key = body["key"]
+        replicas = self.replicas_of(key)
+        can_serve = (
+            self.name in replicas
+            if self.config.consistency in ("2pc", "chain", "quorum")
+            else self.name == replicas[0]
+        )
+        if not can_serve:
+            self.forwards.add()
+            yield self._send(self.directory[replicas[0]], dict(body), REQUEST_BYTES)
+            return
+        obj = self.store.get(key)
+        if self.config.consistency == "quorum":
+            # §3.3: quorum systems must read a write-set-covering quorum —
+            # R − W + 1 replicas — to guarantee they see the latest commit.
+            # This is the "unnecessary high overhead during get operations"
+            # the paper charges quorum designs with.
+            read_set = self.config.replication_level - self.config.quorum_k + 1
+            peers = [r for r in replicas if r != self.name][: read_set - 1]
+            votes = []
+            for peer in peers:
+                reply = yield from self._read_version(peer, key)
+                if reply is not None and reply.get("stamp") is not None:
+                    votes.append((reply["stamp"], reply["value"], reply["size"]))
+            if obj is not None:
+                votes.append((obj.stamp, obj.value, obj.size_bytes))
+            if votes:
+                votes.sort(key=lambda v: v[0])
+                stamp, value, size = votes[-1]
+                obj = StoredObject(key, value, size, stamp)
+            else:
+                obj = None
+        self.gets_served.add()
+        if obj is not None:
+            yield self.disk.read(obj.size_bytes)
+            reply = {
+                "type": "get_reply",
+                "op_id": tuple(body["op_id"]),
+                "status": "ok",
+                "value": obj.value,
+                "size": obj.size_bytes,
+            }
+            size = REQUEST_BYTES + obj.size_bytes
+        else:
+            reply = {"type": "get_reply", "op_id": tuple(body["op_id"]), "status": "miss"}
+            size = ACK_BYTES
+        self._reply_client(body, reply, size)

@@ -1,0 +1,51 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Simulator` — the event loop.
+* :class:`Event`, :class:`Timeout`, :func:`AnyOf`, :func:`AllOf` — waitables.
+* :class:`Process`, :class:`Interrupt` — generator coroutines.
+* :class:`Store`, :class:`Resource` — queues and counted resources.
+* :class:`RngRegistry` — named deterministic random streams.
+* :class:`Counter`, :class:`Tally`, :class:`RateSeries` — measurement.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    NORMAL,
+    Simulator,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+    URGENT,
+)
+from .monitor import Counter, RateSeries, Tally, summary_stats
+from .primitives import Resource, ResourceRequest, Store
+from .process import Interrupt, Process
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "Process",
+    "RateSeries",
+    "Resource",
+    "ResourceRequest",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Tally",
+    "Timeout",
+    "URGENT",
+    "summary_stats",
+]

@@ -1,0 +1,353 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop (:class:`Simulator`) and the event
+primitives (:class:`Event`, :class:`Timeout`, :class:`Condition`) used by
+every other subsystem in the reproduction.  The design follows the classic
+calendar-queue / coroutine-process structure (cf. SimPy), re-implemented
+here because the reproduction must be fully self-contained.
+
+Determinism is a hard requirement: two runs with the same seed must produce
+bit-identical results.  The event heap therefore breaks ties on
+``(time, priority, event_id)`` where ``event_id`` is a monotonically
+increasing counter — never on object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "URGENT",
+    "NORMAL",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Scheduling priority for bookkeeping events that must run before ordinary
+#: events scheduled at the same timestamp (e.g. process initialization and
+#: interrupts).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel API (not for modeled failures)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event goes through three states:
+
+    1. *pending* — created, not yet triggered; callbacks may be attached.
+    2. *triggered* — a value or an exception has been set and the event is
+       scheduled on the simulator heap; callbacks may still be attached.
+    3. *processed* — the simulator has popped the event and run all
+       callbacks.  Attaching a callback to a processed event schedules an
+       immediate (same-timestamp, urgent) delivery so late waiters are not
+       lost.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_processed", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance, if it failed)."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is delivered into every waiting process.  If nobody
+        waits (and nobody calls :meth:`defuse`), the simulation aborts when
+        the event is processed — silent failures hide protocol bugs.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_event(self, priority)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled even if no process awaits it."""
+        self._defused = True
+        return self
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback(event)``; runs when the event is processed."""
+        if self._processed:
+            # Late registration: deliver on the next urgent tick so the
+            # callback still observes a fully-triggered event.
+            self.sim._schedule_call(0.0, callback, self, priority=URGENT)
+        else:
+            assert self._callbacks is not None
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a previously-attached callback (no-op if absent)."""
+        if self._callbacks is not None:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def _process(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+        elif self._ok is False and not self._defused:
+            raise self._value  # nobody handled the failure
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self._processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, NORMAL, delay=delay)
+
+
+class Condition(Event):
+    """Waits on several events; triggers when ``evaluate`` says so.
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, in trigger order.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(sim)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("conditions cannot span simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._on_trigger(ev)
+            else:
+                # Not yet *processed*: even if the value is already set
+                # (e.g. Timeout sets it at creation), the occurrence happens
+                # when the event is popped from the heap — wait for that.
+                ev.add_callback(self._on_trigger)
+
+    def _on_trigger(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok is False:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+
+def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    """Condition that triggers as soon as any constituent triggers."""
+    return Condition(sim, lambda evs, n: n >= 1, events)
+
+
+def AllOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    """Condition that triggers when all constituents have triggered."""
+    return Condition(sim, lambda evs, n: n >= len(evs), events)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_protocol(sim))
+        sim.run(until=120.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._eid = 0
+        self._running = False
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling (internal) ----------------------------------------------
+    def _next_eid(self) -> int:
+        self._eid += 1
+        return self._eid
+
+    def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, priority, self._next_eid(), event))
+
+    def _schedule_call(
+        self, delay: float, func: Callable, *args: Any, priority: int = NORMAL
+    ) -> None:
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        ev.add_callback(lambda _ev: func(*args))
+        heapq.heappush(self._heap, (self._now + delay, priority, self._next_eid(), ev))
+
+    # -- public API ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a new process running ``generator`` (see :mod:`.process`)."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def call_at(self, when: float, func: Callable, *args: Any) -> None:
+        """Invoke ``func(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        self._schedule_call(when - self._now, func, *args)
+
+    def call_in(self, delay: float, func: Callable, *args: Any) -> None:
+        """Invoke ``func(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule_call(delay, func, *args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _prio, _eid, event = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                try:
+                    event._process()
+                except StopSimulation:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        when, _prio, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+        return True
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to stop after this event."""
+        raise StopSimulation()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (for tests/diagnostics)."""
+        return len(self._heap)

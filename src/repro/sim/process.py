@@ -1,0 +1,137 @@
+"""Coroutine processes for the simulation kernel.
+
+A *process* wraps a Python generator.  The generator yields
+:class:`~repro.sim.kernel.Event` objects; the process suspends until the
+yielded event triggers, then resumes with the event's value (or with the
+event's exception thrown into the generator, so protocol code can use
+ordinary ``try/except``).
+
+Processes are themselves events: waiting on a process means waiting for it
+to return, and its :attr:`value` is the generator's return value.  This is
+how protocol state machines compose (e.g. a put operation spawns one
+process per secondary replica and joins them with ``AllOf``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .kernel import Event, SimulationError, Simulator, URGENT
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupt ``cause`` is available as ``exc.cause``.  Used throughout
+    the storage protocols to model request timeouts and node failures.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator, resumable by the event loop."""
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._gen = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # First resume happens on an urgent same-time event so that process
+        # bodies start deterministically before ordinary events at `now`.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._schedule_event(init, URGENT)
+
+    # -- state -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on (if suspended)."""
+        return self._target
+
+    # -- control -----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it resumes queues both interrupts (delivered in order).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev.add_callback(self._resume)
+        self.sim._schedule_event(ev, URGENT)
+
+    # -- engine ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Process already finished (e.g. interrupted after completion
+            # raced with a pending wakeup): drop stale wakeups, but re-raise
+            # unhandled failures of the stale event.
+            if event.ok is False and not event._defused:
+                raise event.value
+            return
+
+        # Detach from the old target: an interrupt must not leave a stale
+        # callback that would resume us a second time.
+        if self._target is not None and self._target is not event:
+            self._target.remove_callback(self._resume)
+        self._target = None
+
+        while True:
+            try:
+                if event.ok:
+                    next_ev = self._gen.send(event.value)
+                else:
+                    event.defuse()
+                    next_ev = self._gen.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_ev, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {next_ev!r}, expected an Event"
+                )
+                try:
+                    self._gen.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:
+                    self.fail(err)
+                return
+
+            if next_ev.processed:
+                # Already settled: loop and deliver synchronously.
+                event = next_ev
+                continue
+            self._target = next_ev
+            next_ev.add_callback(self._resume)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,18 @@
+"""Transport protocols: UDP sockets, message-oriented TCP, and the NICEKV
+reliable (any-k) multicast."""
+
+from .reliable_multicast import MulticastEndpoint, MulticastMessage, MulticastSender
+from .sockets import Datagram, EPHEMERAL_BASE, ProtocolStack
+from .tcp import TcpConnection, TcpLayer, TcpMessage
+
+__all__ = [
+    "Datagram",
+    "EPHEMERAL_BASE",
+    "MulticastEndpoint",
+    "MulticastMessage",
+    "MulticastSender",
+    "ProtocolStack",
+    "TcpConnection",
+    "TcpLayer",
+    "TcpMessage",
+]

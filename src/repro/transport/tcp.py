@@ -1,0 +1,286 @@
+"""Message-oriented TCP model.
+
+NICEKV uses TCP for every transfer except client requests (§5).  What the
+evaluation is sensitive to is (a) connection *establishment* cost — Fig 9a
+attributes NOOB's small-object degradation partly to "the overhead of
+creating and maintaining up to 8 TCP connections" — and (b) the bytes and
+serialization of the data itself.  The model therefore provides:
+
+* a 3-way handshake (SYN / SYN-ACK / ACK control packets, 1.5 RTT) on first
+  contact, with per-(peer, port) connection caching thereafter;
+* message sends that complete when the message reaches the peer's stack
+  (the data traverses the network for real, so link contention applies);
+* per-connection inboxes plus listener sockets with selective receive.
+
+Segment-level ACK clocking is *not* modeled: it contributes no asymmetry
+between the compared systems and would multiply event counts (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net import IPv4Address, Packet, Proto
+from ..sim import Event, Store
+
+__all__ = ["TcpLayer", "TcpConnection", "TcpMessage"]
+
+
+@dataclass
+class TcpMessage:
+    """An application message received over a connection."""
+
+    conn: "TcpConnection"
+    src_ip: IPv4Address
+    sport: int
+    payload: Any
+    payload_bytes: int
+
+
+class TcpConnection:
+    """One established (or establishing) connection endpoint."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        layer: "TcpLayer",
+        local_port: int,
+        remote_ip: IPv4Address,
+        remote_port: int,
+    ):
+        self.layer = layer
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.established = False
+        self.conn_id = next(self._ids)
+        #: Messages arriving on this connection when no listener is bound to
+        #: the local port (the initiator side's receive path).
+        self.inbox = Store(layer.stack.sim, name=f"tcp-conn-{self.conn_id}")
+        self._msg_seq = itertools.count(1)
+
+    @property
+    def local_ip(self) -> IPv4Address:
+        return self.layer.stack.ip
+
+    def send(self, payload: Any, payload_bytes: int) -> Event:
+        """Transmit one message; the returned event triggers on delivery.
+
+        The event never triggers if the peer is down — callers guard with
+        protocol timeouts, exactly as the paper's protocols do (§4.4).
+        """
+        done = Event(self.layer.stack.sim)
+        body = {
+            "kind": "data",
+            "msg": next(self._msg_seq),
+            "payload": payload,
+            "_delivered": done,
+        }
+        self.layer._send_segment(self, body, payload_bytes)
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "est" if self.established else "syn"
+        return (
+            f"<TcpConnection {self.local_ip}:{self.local_port} -> "
+            f"{self.remote_ip}:{self.remote_port} {state}>"
+        )
+
+
+class TcpLayer:
+    """Per-host TCP endpoint: listeners, connection cache, handshake engine."""
+
+    #: Handshake control segments carry no payload (66 B on the wire).
+    CTRL_BYTES = 0
+    #: SYN retransmission schedule: base interval and max attempts.  A peer
+    #: that stays dark wedges nothing — the handshake state is torn down
+    #: after the last attempt so later connects start fresh.
+    SYN_RETRY_S = 0.5
+    SYN_MAX_TRIES = 20
+
+    def __init__(self, stack):
+        self.stack = stack
+        self._listeners: Dict[int, Store] = {}
+        #: Initiator-side cache: (dst_ip, dst_port) -> TcpConnection.
+        self._client_conns: Dict[Tuple[IPv4Address, int], TcpConnection] = {}
+        #: All connections keyed for demux: (remote_ip, remote_port, local_port).
+        self._conns: Dict[Tuple[IPv4Address, int, int], TcpConnection] = {}
+        #: In-flight handshakes: (dst_ip, dst_port) -> waiter events.
+        self._connecting: Dict[Tuple[IPv4Address, int], List[Event]] = {}
+        self.handshakes = 0
+
+    # -- server side ------------------------------------------------------------
+    def listen(self, port: int) -> Store:
+        """Accept connections and receive messages on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"{self.stack.host.name}: TCP port {port} already listening")
+        store = Store(self.stack.sim, name=f"{self.stack.host.name}:tcp:{port}")
+        self._listeners[port] = store
+        return store
+
+    def close_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    # -- client side --------------------------------------------------------------
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Event:
+        """Return an event yielding an established connection.
+
+        Reuses a cached connection when available (triggers immediately);
+        otherwise runs the 3-way handshake.  Concurrent connects to the same
+        destination share one handshake.
+        """
+        dst_ip = IPv4Address(dst_ip)
+        sim = self.stack.sim
+        done = Event(sim)
+        cached = self._client_conns.get((dst_ip, dport))
+        if cached is not None and cached.established:
+            done.succeed(cached)
+            return done
+        waiters = self._connecting.get((dst_ip, dport))
+        if waiters is not None:
+            waiters.append(done)
+            return done
+        self._connecting[(dst_ip, dport)] = [done]
+        self.handshakes += 1
+        local_port = self.stack.ephemeral_port()
+        conn = TcpConnection(self, local_port, dst_ip, dport)
+        self._client_conns[(dst_ip, dport)] = conn
+        self._conns[(dst_ip, dport, local_port)] = conn
+        self._send_ctrl(conn, "syn")
+        self.stack.sim.process(self._syn_retry(conn, (dst_ip, dport)))
+        return done
+
+    def _syn_retry(self, conn: TcpConnection, key):
+        """Retransmit the SYN with backoff; tear down on final failure so a
+        recovered peer can be reconnected with a fresh handshake."""
+        tries = 1
+        while not conn.established and tries < self.SYN_MAX_TRIES:
+            yield self.stack.sim.timeout(self.SYN_RETRY_S * min(tries, 4))
+            if conn.established:
+                return
+            self._send_ctrl(conn, "syn")
+            tries += 1
+        if not conn.established:
+            if self._client_conns.get(key) is conn:
+                del self._client_conns[key]
+            self._conns.pop((conn.remote_ip, conn.remote_port, conn.local_port), None)
+            # Waiters stay untriggered: protocol timeouts own that failure.
+            self._connecting.pop(key, None)
+
+    def send_message(self, dst_ip: IPv4Address, dport: int, payload: Any, payload_bytes: int):
+        """Connect (cached) then send; returns a Process to ``yield`` on.
+
+        The process's value is the connection, so callers can await the
+        reply on ``conn.inbox``.
+        """
+        def _run():
+            conn = yield self.connect(dst_ip, dport)
+            yield conn.send(payload, payload_bytes)
+            return conn
+
+        return self.stack.sim.process(_run())
+
+    def reset_peer(self, ip: IPv4Address) -> int:
+        """Tear down all cached state toward ``ip`` (peer declared failed).
+
+        Returns the number of connections dropped.  Pending handshake
+        waiters toward the peer are left to their protocol timeouts.
+        """
+        ip = IPv4Address(ip)
+        dropped = 0
+        for key in [k for k in self._client_conns if k[0] == ip]:
+            self._client_conns.pop(key)
+            dropped += 1
+        for key in [k for k in self._conns if k[0] == ip]:
+            conn = self._conns.pop(key)
+            conn.established = False
+        for key in [k for k in self._connecting if k[0] == ip]:
+            self._connecting.pop(key)  # abandon in-flight handshakes
+        return dropped
+
+    # -- wire --------------------------------------------------------------------
+    def _send_ctrl(self, conn: TcpConnection, kind: str) -> None:
+        self._send_segment(conn, {"kind": kind}, self.CTRL_BYTES)
+
+    def _send_segment(self, conn: TcpConnection, body: dict, payload_bytes: int) -> None:
+        self.stack.host.send(
+            Packet(
+                src_ip=self.stack.ip,
+                dst_ip=conn.remote_ip,
+                proto=Proto.TCP,
+                sport=conn.local_port,
+                dport=conn.remote_port,
+                payload=body,
+                payload_bytes=payload_bytes,
+            )
+        )
+
+    # -- inbound ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        kind = (packet.payload or {}).get("kind")
+        if kind == "syn":
+            self._on_syn(packet)
+        elif kind == "synack":
+            self._on_synack(packet)
+        elif kind == "ack":
+            self._on_ack(packet)
+        elif kind == "data":
+            self._on_data(packet)
+        # Unknown kinds are dropped (corrupt/late segments).
+
+    def _on_syn(self, packet: Packet) -> None:
+        if packet.dport not in self._listeners:
+            return  # nothing listening: silently dropped (peer times out)
+        key = (packet.src_ip, packet.sport, packet.dport)
+        conn = self._conns.get(key)
+        if conn is None:
+            conn = TcpConnection(self, packet.dport, packet.src_ip, packet.sport)
+            self._conns[key] = conn
+        conn.established = True
+        self._send_ctrl(conn, "synack")
+
+    def _on_synack(self, packet: Packet) -> None:
+        key = (packet.src_ip, packet.sport, packet.dport)
+        conn = self._conns.get(key)
+        if conn is None:
+            return
+        conn.established = True
+        self._send_ctrl(conn, "ack")
+        waiters = self._connecting.pop((packet.src_ip, packet.sport), [])
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed(conn)
+
+    def _on_ack(self, packet: Packet) -> None:
+        # Final handshake leg; the server connection is already usable.
+        return
+
+    def _on_data(self, packet: Packet) -> None:
+        key = (packet.src_ip, packet.sport, packet.dport)
+        conn = self._conns.get(key)
+        if conn is None:
+            # Data on an implicitly-established connection (server restarted
+            # or segment raced the handshake): accept if a listener exists.
+            if packet.dport not in self._listeners:
+                return
+            conn = TcpConnection(self, packet.dport, packet.src_ip, packet.sport)
+            conn.established = True
+            self._conns[key] = conn
+        message = TcpMessage(
+            conn=conn,
+            src_ip=packet.src_ip,
+            sport=packet.sport,
+            payload=packet.payload["payload"],
+            payload_bytes=packet.payload_bytes,
+        )
+        listener = self._listeners.get(packet.dport)
+        if listener is not None:
+            listener.put(message)
+        else:
+            conn.inbox.put(message)
+        delivered = packet.payload.get("_delivered")
+        if delivered is not None and not delivered.triggered:
+            delivered.succeed()

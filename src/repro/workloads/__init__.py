@@ -1,0 +1,36 @@
+"""Workload generators: YCSB (zipfian), synthetic size sweeps, hot-object
+weak scaling, and the fault-injection timeline."""
+
+from .faultload import FaultTimelineResult, run_fault_timeline
+from .synthetic import (
+    OBJECT_SIZES,
+    closed_loop_gets,
+    closed_loop_puts,
+    hot_object_clients,
+    keys_in_partition,
+)
+from .ycsb import DEFAULT_OBJECT_BYTES, WORKLOADS, YcsbRunner, YcsbWorkload
+from .zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "DEFAULT_OBJECT_BYTES",
+    "FaultTimelineResult",
+    "LatestGenerator",
+    "OBJECT_SIZES",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "WORKLOADS",
+    "YcsbRunner",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "closed_loop_gets",
+    "closed_loop_puts",
+    "hot_object_clients",
+    "keys_in_partition",
+    "run_fault_timeline",
+]

@@ -1,0 +1,100 @@
+"""Synthetic micro-workloads for the §6 figures: size sweeps, hot-object
+weak scaling, and same-partition key selection."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..kv import ConsistentHashRing, key_hash
+from ..sim import AllOf, Tally
+
+__all__ = [
+    "OBJECT_SIZES",
+    "keys_in_partition",
+    "closed_loop_puts",
+    "closed_loop_gets",
+    "hot_object_clients",
+]
+
+#: The size axis of Figs 4–5: 4 B to 1 MB.
+OBJECT_SIZES = [4, 256, 1024, 4096, 16384, 65536, 262144, 1048576]
+
+
+def keys_in_partition(partition: int, n_partitions: int, count: int, prefix: str = "k") -> List[str]:
+    """Generate ``count`` keys whose hash falls in ``partition`` — Figs 10
+    and 11 put "all objects in the same partition"."""
+    keys = []
+    i = 0
+    while len(keys) < count:
+        key = f"{prefix}{i}"
+        if ConsistentHashRing.partition_of_hash(key_hash(key), n_partitions) == partition:
+            keys.append(key)
+        i += 1
+        if i > 1_000_000:
+            raise RuntimeError("could not find enough keys in the partition")
+    return keys
+
+
+def closed_loop_puts(client, sim, n_ops: int, size: int, keys: Optional[List[str]] = None,
+                     value: str = "x", tally: Optional[Tally] = None):
+    """n back-to-back puts from one client; returns a Process → Tally."""
+    tally = tally or Tally("puts")
+
+    def run():
+        for i in range(n_ops):
+            key = keys[i % len(keys)] if keys else f"obj{i}"
+            r = yield client.put(key, value, size)
+            if r.ok:
+                tally.observe(r.latency)
+        return tally
+
+    return sim.process(run())
+
+
+def closed_loop_gets(client, sim, n_ops: int, keys: List[str],
+                     tally: Optional[Tally] = None):
+    """n back-to-back gets from one client; returns a Process → Tally."""
+    tally = tally or Tally("gets")
+
+    def run():
+        for i in range(n_ops):
+            r = yield client.get(keys[i % len(keys)])
+            if r.ok:
+                tally.observe(r.latency)
+        return tally
+
+    return sim.process(run())
+
+
+def hot_object_clients(put_client, get_clients, sim, key: str, size: int, n_ops: int,
+                       include_put: bool = True):
+    """Fig 10's weak-scaling workload: 1 client puts the same object n times
+    while the other clients get it n times each.  Returns a Process whose
+    value is {"elapsed_s", "put": Tally, "get": Tally}."""
+    put_tally = Tally("hot.put")
+    get_tally = Tally("hot.get")
+
+    def putter():
+        for _ in range(n_ops):
+            r = yield put_client.put(key, "hot", size)
+            if r.ok:
+                put_tally.observe(r.latency)
+
+    def getter(client):
+        for _ in range(n_ops):
+            r = yield client.get(key)
+            if r.ok:
+                get_tally.observe(r.latency)
+
+    def run():
+        # Seed the object so first gets don't miss.
+        yield put_client.put(key, "seed", size)
+        t0 = sim.now
+        procs = [sim.process(getter(c)) for c in get_clients]
+        if include_put:
+            procs.append(sim.process(putter()))
+        if procs:
+            yield AllOf(sim, procs)
+        return {"elapsed_s": sim.now - t0, "put": put_tally, "get": get_tally}
+
+    return sim.process(run())

@@ -1,0 +1,180 @@
+"""YCSB workload definitions and the closed-loop runner (Cooper et al. [16]).
+
+The paper's Fig 12 uses workloads C (read-only) and F (read-modify-write,
+the highest put ratio in YCSB at 50%), zipfian popularity, 1 KB objects,
+10 clients × 20 K ops.  All six standard workloads are defined so the
+harness can sweep beyond the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..sim import Tally
+from .zipf import LatestGenerator, ScrambledZipfianGenerator, UniformGenerator
+
+__all__ = ["YcsbWorkload", "WORKLOADS", "YcsbRunner", "DEFAULT_OBJECT_BYTES"]
+
+#: YCSB default record: 10 fields × 100 B.
+DEFAULT_OBJECT_BYTES = 1000
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """Operation mix of one YCSB workload."""
+
+    name: str
+    read: float
+    update: float
+    insert: float
+    rmw: float
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: mix sums to {total}, not 1")
+
+
+WORKLOADS: Dict[str, YcsbWorkload] = {
+    "A": YcsbWorkload("A", read=0.5, update=0.5, insert=0.0, rmw=0.0),
+    "B": YcsbWorkload("B", read=0.95, update=0.05, insert=0.0, rmw=0.0),
+    "C": YcsbWorkload("C", read=1.0, update=0.0, insert=0.0, rmw=0.0),
+    "D": YcsbWorkload("D", read=0.95, update=0.0, insert=0.05, rmw=0.0, distribution="latest"),
+    "E": YcsbWorkload("E", read=0.95, update=0.0, insert=0.05, rmw=0.0),  # scans→reads
+    "F": YcsbWorkload("F", read=0.5, update=0.0, insert=0.0, rmw=0.5),
+}
+
+
+class YcsbRunner:
+    """Drives KV clients (NICE or NOOB — same put/get API) through a
+    workload, closed-loop, one process per client."""
+
+    def __init__(
+        self,
+        workload: YcsbWorkload,
+        n_records: int = 1000,
+        object_bytes: int = DEFAULT_OBJECT_BYTES,
+        rng: np.random.Generator = None,
+    ):
+        self.workload = workload
+        self.n_records = n_records
+        self.object_bytes = object_bytes
+        self.rng = rng or np.random.default_rng(0)
+        if workload.distribution == "zipfian":
+            self.keychooser = ScrambledZipfianGenerator(n_records, rng=self.rng)
+        elif workload.distribution == "latest":
+            self.keychooser = LatestGenerator(n_records, rng=self.rng)
+        else:
+            self.keychooser = UniformGenerator(n_records, rng=self.rng)
+        self._insert_cursor = n_records
+        self.op_latency = Tally("ycsb.ops")
+        self.read_latency = Tally("ycsb.reads")
+        self.write_latency = Tally("ycsb.writes")
+        self.errors = 0
+        self.ops_done = 0
+
+    def key(self, index: int) -> str:
+        return f"user{index}"
+
+    def _choose_op(self) -> str:
+        w = self.workload
+        u = self.rng.random()
+        if u < w.read:
+            return "read"
+        if u < w.read + w.update:
+            return "update"
+        if u < w.read + w.update + w.insert:
+            return "insert"
+        return "rmw"
+
+    def load_phase(self, client, sim):
+        """Insert the initial records through one client; returns a Process."""
+
+        def run():
+            for i in range(self.n_records):
+                r = yield client.put(self.key(i), f"v{i}", self.object_bytes)
+                if not r.ok:
+                    self.errors += 1
+
+        return sim.process(run())
+
+    def client_process(self, client, sim, n_ops: int):
+        """One closed-loop client; returns a Process."""
+
+        def run():
+            for _ in range(n_ops):
+                op = self._choose_op()
+                t0 = sim.now
+                if op == "read":
+                    r = yield client.get(self.key(self.keychooser.next()))
+                    ok = r.ok or r.status == "miss"  # cold key: still served
+                    self.read_latency.observe(sim.now - t0)
+                elif op == "update":
+                    key = self.key(self.keychooser.next())
+                    r = yield client.put(key, "u", self.object_bytes)
+                    ok = r.ok
+                    self.write_latency.observe(sim.now - t0)
+                elif op == "insert":
+                    key = self.key(self._insert_cursor)
+                    self._insert_cursor += 1
+                    if isinstance(self.keychooser, LatestGenerator):
+                        self.keychooser.set_last_item(self._insert_cursor)
+                    r = yield client.put(key, "i", self.object_bytes)
+                    ok = r.ok
+                    self.write_latency.observe(sim.now - t0)
+                else:  # read-modify-write (workload F)
+                    key = self.key(self.keychooser.next())
+                    r1 = yield client.get(key)
+                    r2 = yield client.put(key, "rmw", self.object_bytes)
+                    ok = (r1.ok or r1.status == "miss") and r2.ok
+                    self.write_latency.observe(sim.now - t0)
+                self.op_latency.observe(sim.now - t0)
+                self.ops_done += 1
+                if not ok:
+                    self.errors += 1
+
+        return sim.process(run())
+
+    def run(
+        self,
+        clients: List,
+        sim,
+        n_ops_per_client: int,
+        load_client=None,
+        threads: int = 4,
+    ):
+        """Full benchmark: load phase then concurrent clients; returns a
+        Process whose value is the run's wall-clock duration and throughput.
+
+        ``threads`` is YCSB's per-client thread count: each client machine
+        keeps that many operations outstanding (closed loop per thread).
+        """
+
+        def run():
+            yield self.load_phase(load_client or clients[0], sim)
+            t0 = sim.now
+            procs = []
+            for c in clients:
+                per_thread = n_ops_per_client // threads
+                remainder = n_ops_per_client - per_thread * threads
+                for t in range(threads):
+                    ops = per_thread + (1 if t < remainder else 0)
+                    if ops:
+                        procs.append(self.client_process(c, sim, ops))
+            from ..sim import AllOf
+
+            yield AllOf(sim, procs)
+            elapsed = sim.now - t0
+            total_ops = n_ops_per_client * len(clients)
+            return {
+                "elapsed_s": elapsed,
+                "ops": total_ops,
+                "throughput_ops_s": total_ops / elapsed if elapsed > 0 else float("inf"),
+                "errors": self.errors,
+            }
+
+        return sim.process(run())

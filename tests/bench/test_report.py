@@ -1,0 +1,96 @@
+"""Tests for the report rendering and the experiment-result container."""
+
+import pytest
+
+from repro.bench import ExperimentResult, format_result, format_table, ratio_summary
+
+
+def make_result():
+    r = ExperimentResult("figX", "demo", ["system", "size", "ms"])
+    r.add(system="NICE", size=4, ms=1.0)
+    r.add(system="NICE", size=1024, ms=2.0)
+    r.add(system="NOOB", size=4, ms=3.0)
+    r.add(system="NOOB", size=1024, ms=5.0)
+    r.note("a note")
+    return r
+
+
+def test_add_and_column():
+    r = make_result()
+    assert r.column("ms", where={"system": "NICE"}) == [1.0, 2.0]
+    assert r.column("ms") == [1.0, 2.0, 3.0, 5.0]
+    assert r.column("ms", where={"system": "NOOB", "size": 4}) == [3.0]
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 1000, "bb": 0.001}])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all rows padded to equal width
+
+
+def test_format_table_empty_rows():
+    text = format_table(["col"], [])
+    assert "col" in text
+
+
+def test_format_result_includes_notes():
+    text = format_result(make_result())
+    assert "figX" in text
+    assert "a note" in text
+    assert "NICE" in text
+
+
+def test_ratio_summary_per_group():
+    r = make_result()
+    text = ratio_summary(r, "ms", "NICE", group_cols=["size"])
+    assert "NICE vs NOOB" in text
+    assert "min 2.50x" in text  # 5/2 at size 1024
+    assert "max 3.00x" in text  # 3/1 at size 4
+
+
+def test_ratio_summary_missing_baseline():
+    r = ExperimentResult("x", "d", ["system", "v"])
+    r.add(system="OTHER", v=1.0)
+    assert ratio_summary(r, "v", "NICE") == ""
+
+
+def test_formatting_of_value_kinds():
+    text = format_table(
+        ["v"],
+        [{"v": True}, {"v": False}, {"v": 12345.6}, {"v": 0.00012}, {"v": "s"}, {"v": 0.0}],
+    )
+    assert "yes" in text and "no" in text
+    assert "12,346" in text
+    assert "0.00012" in text
+
+
+def test_ascii_chart_renders_series():
+    from repro.bench import ascii_chart
+
+    chart = ascii_chart(
+        {"a": [(0, 0.0), (1, 1.0), (2, 4.0)], "b": [(0, 4.0), (2, 0.0)]},
+        width=40,
+        height=8,
+        title="demo",
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "demo"
+    assert "*" in chart and "o" in chart
+    assert "*=a" in chart and "o=b" in chart
+    assert "4" in lines[1]  # y max label on the top row
+
+
+def test_ascii_chart_empty():
+    from repro.bench import ascii_chart
+
+    assert "(no data)" in ascii_chart({}, title="t")
+
+
+def test_ascii_chart_flat_series():
+    from repro.bench import ascii_chart
+
+    chart = ascii_chart({"flat": [(0, 5.0), (10, 5.0)]})
+    assert "*" in chart

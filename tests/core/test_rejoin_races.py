@@ -1,0 +1,104 @@
+"""Races around phase-1 rejoin: best-effort joiners, early commits, and
+repeated failure cycles must never leave locks or logs stuck."""
+
+import pytest
+
+from repro.core import ClusterConfig, NiceCluster
+from repro.workloads import keys_in_partition
+
+
+def make_cluster(**kw):
+    defaults = dict(n_storage_nodes=8, n_clients=3, replication_level=3)
+    defaults.update(kw)
+    cluster = NiceCluster(ClusterConfig(**defaults))
+    cluster.warm_up()
+    return cluster
+
+
+def test_puts_succeed_while_node_is_rejoining():
+    """The primary must not require a phase-1 joiner's acks (§4.4: it only
+    'receives and participates in' puts while catching up)."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "during-rejoin"
+    part = cluster.uni_vring.subgroup_of_key(key)
+    rs = cluster.partition_map.get(part)
+    victim = [m for m in rs.members if m != rs.primary][0]
+    out = {"puts": []}
+
+    def driver(sim):
+        yield client.put(key, "v0", 1000)
+        cluster.nodes[victim].crash()
+        yield sim.timeout(2.5)
+        proc = cluster.nodes[victim].restart()
+        # Hammer puts exactly through the rejoin window.
+        for i in range(20):
+            r = yield client.put(key, f"v{i}", 1000, max_retries=0)
+            out["puts"].append(r.ok)
+        yield proc
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=60.0)
+    assert all(out["puts"]), f"puts failed during rejoin: {out['puts']}"
+    # No stuck protocol state anywhere in the replica set.
+    cluster.sim.run(until=cluster.sim.now + 5.0)
+    for m in cluster.partition_map.get(part).members:
+        node = cluster.nodes[m]
+        assert len(node.locks) == 0
+        assert len(node.wal) == 0
+
+
+def test_repeated_fail_rejoin_cycles_stay_clean():
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    keys = keys_in_partition(0, cluster.config.n_partitions, 8)
+    rs = cluster.partition_map.get(0)
+    victim = [m for m in rs.members if m != rs.primary][0]
+    out = {"ok": 0, "total": 0}
+
+    def driver(sim):
+        for cycle in range(3):
+            for k in keys[:3]:
+                r = yield client.put(k, f"c{cycle}", 500)
+                out["total"] += 1
+                out["ok"] += int(r.ok)
+            cluster.nodes[victim].crash()
+            yield sim.timeout(2.5)
+            yield cluster.nodes[victim].restart()
+            yield sim.timeout(1.0)
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=120.0)
+    assert out["ok"] == out["total"] == 9
+    rs = cluster.partition_map.get(0)
+    assert victim in rs.members and victim not in rs.absent
+    for m in rs.members:
+        node = cluster.nodes[m]
+        assert len(node.locks) == 0
+        assert len(node.wal) == 0
+
+
+def test_joiner_converges_via_handoff_even_if_it_misses_window_puts():
+    """Objects written in the detection/handoff window end up on the
+    rejoined node (fetched from the handoff)."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    keys = keys_in_partition(0, cluster.config.n_partitions, 6, prefix="w")
+    rs = cluster.partition_map.get(0)
+    victim = [m for m in rs.members if m != rs.primary][0]
+
+    def driver(sim):
+        cluster.nodes[victim].crash()
+        yield sim.timeout(2.5)
+        for k in keys:
+            r = yield client.put(k, "window", 500)
+            assert r.ok
+        yield cluster.nodes[victim].restart()
+        yield sim.timeout(2.0)
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=60.0)
+    node = cluster.nodes[victim]
+    for k in keys:
+        obj = node.store.get(k)
+        assert obj is not None and obj.value == "window", f"{k} missing on {victim}"

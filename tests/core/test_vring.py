@@ -1,0 +1,86 @@
+"""Unit tests for virtual rings (§3.2)."""
+
+import pytest
+
+from repro.core import VirtualRing
+from repro.kv import RING_SIZE, key_hash
+from repro.net import IPv4Address, IPv4Network
+
+
+def ring(prefix="10.10.0.0/16", n=16):
+    return VirtualRing(IPv4Network(prefix), n)
+
+
+def test_subgroup_count_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        ring(n=12)
+    with pytest.raises(ValueError):
+        ring(n=0)
+
+
+def test_subgroups_must_fit_prefix():
+    with pytest.raises(ValueError):
+        VirtualRing(IPv4Network("10.10.1.0/30"), 8)
+
+
+def test_subgroup_prefixes_partition_the_vring():
+    r = ring(n=16)
+    subs = [r.subgroup_prefix(i) for i in range(16)]
+    assert str(subs[0]) == "10.10.0.0/20"
+    assert str(subs[1]) == "10.10.16.0/20"
+    # Disjoint and covering.
+    total = sum(s.num_addresses for s in subs)
+    assert total == IPv4Network("10.10.0.0/16").num_addresses
+    for a, b in zip(subs, subs[1:]):
+        assert not a.overlaps(b)
+
+
+def test_subgroup_prefix_range_checked():
+    r = ring(n=4)
+    with pytest.raises(ValueError):
+        r.subgroup_prefix(4)
+    with pytest.raises(ValueError):
+        r.subgroup_prefix(-1)
+
+
+def test_vnode_for_hash_lands_in_matching_subgroup():
+    r = ring(n=16)
+    for h in [0, 123456, RING_SIZE // 3, RING_SIZE - 1]:
+        vaddr = r.vnode_for_hash(h)
+        sg = r.subgroup_of_hash(h)
+        assert vaddr in r.subgroup_prefix(sg)
+        assert r.subgroup_of_address(vaddr) == sg
+
+
+def test_vnode_for_key_deterministic():
+    r = ring()
+    assert r.vnode_for_key("obj") == r.vnode_for_key("obj")
+    assert r.subgroup_of_key("obj") == r.subgroup_of_hash(key_hash("obj"))
+
+
+def test_two_vrings_same_key_same_subgroup():
+    """Unicast and multicast rings must agree on the partition (§4.2)."""
+    uni = VirtualRing(IPv4Network("10.10.0.0/16"), 16)
+    mc = VirtualRing(IPv4Network("10.11.0.0/16"), 16)
+    for key in ["a", "b", "hot-object", "xyz123"]:
+        assert uni.subgroup_of_key(key) == mc.subgroup_of_key(key)
+        assert uni.vnode_for_key(key) in uni.prefix
+        assert mc.vnode_for_key(key) in mc.prefix
+
+
+def test_subgroup_of_address_rejects_foreign_ip():
+    r = ring()
+    with pytest.raises(ValueError):
+        r.subgroup_of_address(IPv4Address("192.168.1.1"))
+
+
+def test_contains():
+    r = ring()
+    assert IPv4Address("10.10.200.9") in r
+    assert IPv4Address("10.12.0.1") not in r
+
+
+def test_single_subgroup_ring():
+    r = ring(n=1)
+    assert r.subgroup_of_key("anything") == 0
+    assert str(r.subgroup_prefix(0)) == "10.10.0.0/16"

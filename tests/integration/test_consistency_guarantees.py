@@ -1,0 +1,87 @@
+"""Sequential-consistency observations under concurrency and load
+balancing: once any client reads version N of a key, no later read (by any
+client) may return an older version — the guarantee NICE's 2PC + LB
+routing must jointly provide (§3.3, §4.5)."""
+
+import pytest
+
+from repro.core import ClusterConfig, NiceCluster
+
+
+def run_monotonic_reads_check(cluster, key, n_versions=20, readers=4):
+    """One writer bumps the version; readers verify monotonicity."""
+    sim = cluster.sim
+    violations = []
+    latest_read = {"v": -1}
+    done = {"writer": False}
+
+    def writer(client):
+        for v in range(n_versions):
+            r = yield client.put(key, v, 512)
+            assert r.ok, f"put of version {v} failed"
+        done["writer"] = True
+
+    def reader(client):
+        last = -1
+        while not done["writer"]:
+            r = yield client.get(key)
+            if r.ok:
+                v = r.value
+                if v < last:
+                    violations.append((client.host.name, last, v))
+                last = max(last, v)
+                if v > latest_read["v"]:
+                    latest_read["v"] = v
+
+    sim.process(writer(cluster.clients[0]))
+    for c in cluster.clients[1 : readers + 1]:
+        sim.process(reader(c))
+    sim.run(until=60.0)
+    return violations, latest_read["v"]
+
+
+def test_reads_are_monotonic_per_reader_under_lb():
+    cluster = NiceCluster(
+        ClusterConfig(n_storage_nodes=8, n_clients=6, replication_level=3)
+    )
+    cluster.warm_up()
+    violations, latest = run_monotonic_reads_check(cluster, "versioned")
+    assert violations == [], f"stale reads observed: {violations}"
+    assert latest >= 0  # readers actually observed data
+
+
+def test_reads_are_monotonic_across_secondary_failure():
+    cluster = NiceCluster(
+        ClusterConfig(n_storage_nodes=8, n_clients=6, replication_level=3)
+    )
+    cluster.warm_up()
+    key = "versioned-ft"
+    part = cluster.uni_vring.subgroup_of_key(key)
+    rs = cluster.partition_map.get(part)
+    victim = [m for m in rs.members if m != rs.primary][0]
+    cluster.sim.call_in(0.05, cluster.nodes[victim].crash)
+    violations, latest = run_monotonic_reads_check(cluster, key, n_versions=30)
+    assert violations == [], f"stale reads across failure: {violations}"
+
+
+def test_all_replicas_converge_to_writer_order():
+    """After a burst of concurrent writers, every replica holds the same
+    final version (the commit stamps impose one order, §4.3)."""
+    cluster = NiceCluster(
+        ClusterConfig(n_storage_nodes=8, n_clients=4, replication_level=3)
+    )
+    cluster.warm_up()
+    key = "contested"
+
+    def writer(client, tag):
+        for i in range(10):
+            yield client.put(key, f"{tag}-{i}", 256)
+
+    procs = [
+        cluster.sim.process(writer(c, c.host.name)) for c in cluster.clients
+    ]
+    cluster.sim.run(until=60.0)
+    values = {n.name: n.store.get(key).value for n in cluster.replica_nodes(key)}
+    assert len(set(values.values())) == 1, f"diverged: {values}"
+    stamps = {n.store.get(key).stamp for n in cluster.replica_nodes(key)}
+    assert len(stamps) == 1

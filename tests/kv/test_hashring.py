@@ -1,0 +1,124 @@
+"""Unit tests for consistent hashing."""
+
+import pytest
+
+from repro.kv import ConsistentHashRing, RING_SIZE, key_hash
+
+
+def make_ring(n=5, points=1):
+    ring = ConsistentHashRing(points_per_node=points)
+    for i in range(n):
+        ring.add_node(f"n{i}")
+    return ring
+
+
+def test_key_hash_deterministic_and_in_range():
+    assert key_hash("obj1") == key_hash("obj1")
+    assert 0 <= key_hash("obj1") < RING_SIZE
+    assert key_hash("obj1") != key_hash("obj2")
+
+
+def test_add_remove_nodes():
+    ring = make_ring(3)
+    assert len(ring) == 3
+    assert "n1" in ring
+    ring.remove_node("n1")
+    assert len(ring) == 2
+    assert "n1" not in ring
+
+
+def test_duplicate_add_rejected():
+    ring = make_ring(2)
+    with pytest.raises(ValueError):
+        ring.add_node("n0")
+
+
+def test_remove_missing_rejected():
+    ring = make_ring(1)
+    with pytest.raises(KeyError):
+        ring.remove_node("ghost")
+
+
+def test_empty_ring_lookup_rejected():
+    ring = ConsistentHashRing()
+    with pytest.raises(LookupError):
+        ring.successor(0)
+
+
+def test_successor_wraps_around():
+    ring = make_ring(3)
+    # Successor of the max point wraps to the first point.
+    owner = ring.successor(RING_SIZE - 1)
+    assert owner in ring.nodes
+
+
+def test_successors_distinct_replica_set():
+    ring = make_ring(5, points=4)
+    reps = ring.successors(12345, 3)
+    assert len(reps) == 3
+    assert len(set(reps)) == 3
+
+
+def test_successors_k_validation():
+    ring = make_ring(3)
+    with pytest.raises(ValueError):
+        ring.successors(0, 0)
+    with pytest.raises(ValueError):
+        ring.successors(0, 4)
+
+
+def test_replicas_for_key_primary_is_node_for_key():
+    ring = make_ring(6)
+    reps = ring.replicas_for_key("object-7", 3)
+    assert reps[0] == ring.node_for_key("object-7")
+
+
+def test_removal_only_moves_affected_keys():
+    """Consistent hashing's core property: removing a node only remaps the
+    keys it owned."""
+    ring = make_ring(8)
+    keys = [f"key{i}" for i in range(500)]
+    before = {k: ring.node_for_key(k) for k in keys}
+    ring.remove_node("n3")
+    for k in keys:
+        after = ring.node_for_key(k)
+        if before[k] != "n3":
+            assert after == before[k]
+        else:
+            assert after != "n3"
+
+
+def test_points_per_node_smooths_arcs():
+    bumpy = make_ring(8, points=1)
+    smooth = make_ring(8, points=64)
+
+    def spread(ring):
+        sizes = list(ring.arc_sizes().values())
+        return max(sizes) / max(min(sizes), 1)
+
+    assert spread(smooth) < spread(bumpy)
+
+
+def test_arc_sizes_sum_to_ring():
+    ring = make_ring(5, points=3)
+    assert sum(ring.arc_sizes().values()) == RING_SIZE
+    assert ConsistentHashRing().arc_sizes() == {}
+
+
+def test_partition_point_and_lookup_roundtrip():
+    n = 16
+    for p in range(n):
+        point = ConsistentHashRing.partition_point(p, n)
+        assert ConsistentHashRing.partition_of_hash(point, n) == p
+
+
+def test_partition_point_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing.partition_point(16, 16)
+    with pytest.raises(ValueError):
+        ConsistentHashRing.partition_point(-1, 16)
+
+
+def test_points_per_node_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(points_per_node=0)

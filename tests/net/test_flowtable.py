@@ -1,0 +1,140 @@
+"""Unit tests for flow-table matching semantics."""
+
+import pytest
+
+from repro.net import (
+    Bucket,
+    Drop,
+    FlowTable,
+    Group,
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    Match,
+    Output,
+    Packet,
+    Proto,
+    Rule,
+    SetIpDst,
+)
+
+
+def pkt(src="10.0.0.1", dst="10.10.1.5", proto=Proto.UDP, dport=4000, dst_mac=None):
+    return Packet(
+        src_ip=IPv4Address(src),
+        dst_ip=IPv4Address(dst),
+        proto=proto,
+        dport=dport,
+        payload_bytes=10,
+        dst_mac=dst_mac,
+    )
+
+
+def test_wildcard_match_matches_everything():
+    assert Match().matches(pkt(), in_port=7)
+
+
+def test_prefix_match_on_dst():
+    m = Match(ip_dst=IPv4Network("10.10.1.0/24"))
+    assert m.matches(pkt(dst="10.10.1.200"))
+    assert not m.matches(pkt(dst="10.10.2.1"))
+
+
+def test_prefix_match_on_src():
+    m = Match(ip_src=IPv4Network("192.168.0.0/30"))
+    assert m.matches(pkt(src="192.168.0.3"))
+    assert not m.matches(pkt(src="192.168.0.4"))
+
+
+def test_exact_ip_match_accepts_address_and_string():
+    assert Match(ip_dst=IPv4Address("10.10.1.5")).matches(pkt())
+    assert Match(ip_dst="10.10.1.5").matches(pkt())
+    assert not Match(ip_dst="10.10.1.6").matches(pkt())
+
+
+def test_proto_and_port_match():
+    m = Match(proto=Proto.UDP, dport=4000)
+    assert m.matches(pkt())
+    assert not m.matches(pkt(proto=Proto.TCP))
+    assert not m.matches(pkt(dport=4001))
+
+
+def test_in_port_match():
+    m = Match(in_port=3)
+    assert m.matches(pkt(), in_port=3)
+    assert not m.matches(pkt(), in_port=4)
+
+
+def test_eth_dst_match():
+    mac = MacAddress(42)
+    assert Match(eth_dst=mac).matches(pkt(dst_mac=mac))
+    assert not Match(eth_dst=mac).matches(pkt(dst_mac=MacAddress(43)))
+
+
+def test_lookup_honors_priority():
+    table = FlowTable()
+    low = table.add(Rule(Match(), [Drop()], priority=1))
+    high = table.add(
+        Rule(Match(ip_dst=IPv4Network("10.10.0.0/16")), [Output(1)], priority=10)
+    )
+    assert table.lookup(pkt()) is high
+    assert table.lookup(pkt(dst="1.1.1.1")) is low
+
+
+def test_lookup_ties_break_on_insertion_order():
+    table = FlowTable()
+    first = table.add(Rule(Match(), [Output(1)], priority=5))
+    table.add(Rule(Match(), [Output(2)], priority=5))
+    assert table.lookup(pkt()) is first
+
+
+def test_lookup_miss_returns_none():
+    table = FlowTable()
+    table.add(Rule(Match(ip_dst="1.2.3.4"), [Output(1)]))
+    assert table.lookup(pkt()) is None
+
+
+def test_capacity_enforced():
+    table = FlowTable(capacity=2)
+    table.add(Rule(Match(), [Drop()]))
+    table.add(Rule(Match(), [Drop()]))
+    with pytest.raises(OverflowError):
+        table.add(Rule(Match(), [Drop()]))
+
+
+def test_remove_by_cookie():
+    table = FlowTable()
+    table.add(Rule(Match(), [Drop()], cookie="vring:n1"))
+    table.add(Rule(Match(), [Drop()], cookie="vring:n1"))
+    keep = table.add(Rule(Match(), [Drop()], cookie="vring:n2"))
+    assert table.remove_by_cookie("vring:n1") == 2
+    assert table.rules == (keep,)
+
+
+def test_rule_counters_touch():
+    r = Rule(Match(), [Drop()])
+    p = pkt()
+    r.touch(p, now=4.2)
+    assert r.packets == 1
+    assert r.bytes == p.size_bytes
+    assert r.last_used == 4.2
+
+
+def test_idle_expiry():
+    table = FlowTable()
+    r1 = table.add(Rule(Match(), [Drop()], idle_timeout=5.0))
+    r2 = table.add(Rule(Match(), [Drop()]))  # no timeout: survives
+    r1.last_used = 0.0
+    assert table.expire_idle(now=10.0) == 1
+    assert table.rules == (r2,)
+
+
+def test_group_buckets():
+    g = Group(7, [Bucket(actions=(SetIpDst(IPv4Address("10.0.0.9")),), port=3)])
+    assert len(g) == 1
+    assert g.buckets[0].port == 3
+
+
+def test_match_rejects_garbage_ip():
+    with pytest.raises(TypeError):
+        Match(ip_dst=3.14)  # type: ignore[arg-type]

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for consistent hashing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kv import ConsistentHashRing, RING_SIZE, key_hash
+
+node_lists = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=20, unique=True
+)
+
+
+@given(nodes=node_lists, key=st.text(min_size=1, max_size=30))
+def test_lookup_total_and_stable(nodes, key):
+    """Every key maps to exactly one live node, deterministically."""
+    ring = ConsistentHashRing()
+    for n in nodes:
+        ring.add_node(n)
+    owner = ring.node_for_key(key)
+    assert owner in nodes
+    assert ring.node_for_key(key) == owner
+
+
+@given(nodes=node_lists, point=st.integers(min_value=0, max_value=RING_SIZE - 1))
+def test_successors_prefix_consistency(nodes, point):
+    """successors(p, k) is a prefix of successors(p, k+1)."""
+    ring = ConsistentHashRing()
+    for n in nodes:
+        ring.add_node(n)
+    for k in range(1, len(nodes)):
+        assert ring.successors(point, k) == ring.successors(point, k + 1)[:k]
+
+
+@given(
+    nodes=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=2, max_size=15, unique=True
+    ),
+    keys=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50),
+    data=st.data(),
+)
+@settings(max_examples=50)
+def test_node_removal_monotone(nodes, keys, data):
+    """Removing a node never remaps a key that it did not own."""
+    ring = ConsistentHashRing()
+    for n in nodes:
+        ring.add_node(n)
+    victim = data.draw(st.sampled_from(nodes))
+    before = {k: ring.node_for_key(k) for k in keys}
+    ring.remove_node(victim)
+    for k in keys:
+        if before[k] != victim:
+            assert ring.node_for_key(k) == before[k]
+
+
+@given(
+    nodes=node_lists,
+    point=st.integers(min_value=0, max_value=RING_SIZE - 1),
+)
+def test_replica_sets_are_distinct(nodes, point):
+    ring = ConsistentHashRing(points_per_node=4)
+    for n in nodes:
+        ring.add_node(n)
+    k = min(3, len(nodes))
+    reps = ring.successors(point, k)
+    assert len(set(reps)) == len(reps) == k
+
+
+@given(n_parts=st.integers(min_value=1, max_value=4096), h=st.integers(min_value=0, max_value=RING_SIZE - 1))
+def test_partition_of_hash_in_range(n_parts, h):
+    p = ConsistentHashRing.partition_of_hash(h, n_parts)
+    assert 0 <= p < n_parts
+    # The partition's start point is at or before the hash.
+    assert ConsistentHashRing.partition_point(p, n_parts) <= h
+
+
+@given(key=st.text(min_size=0, max_size=100))
+def test_key_hash_range(key):
+    assert 0 <= key_hash(key) < RING_SIZE

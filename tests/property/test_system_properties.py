@@ -1,0 +1,84 @@
+"""Property-based tests over the vring mapping, workload generators and
+simulator determinism."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ClusterConfig, NiceCluster, VirtualRing
+from repro.kv import RING_SIZE
+from repro.net import IPv4Network, wire_size, MTU_BYTES, HEADER_BYTES
+from repro.workloads import LatestGenerator, ZipfianGenerator
+
+subgroup_counts = st.sampled_from([1, 2, 4, 8, 16, 64, 256])
+
+
+@given(n=subgroup_counts, h=st.integers(min_value=0, max_value=RING_SIZE - 1))
+def test_vring_vnode_always_lands_in_its_subgroup(n, h):
+    ring = VirtualRing(IPv4Network("10.10.0.0/16"), n)
+    vaddr = ring.vnode_for_hash(h)
+    sg = ring.subgroup_of_hash(h)
+    assert vaddr in ring.subgroup_prefix(sg)
+    assert ring.subgroup_of_address(vaddr) == sg
+
+
+@given(n=subgroup_counts, key=st.text(min_size=1, max_size=40))
+def test_unicast_and_multicast_rings_agree(n, key):
+    uni = VirtualRing(IPv4Network("10.10.0.0/16"), n)
+    mc = VirtualRing(IPv4Network("10.11.0.0/16"), n)
+    assert uni.subgroup_of_key(key) == mc.subgroup_of_key(key)
+
+
+@given(size=st.integers(min_value=0, max_value=10_000_000))
+def test_wire_size_bounds(size):
+    w = wire_size(size)
+    chunks = max(1, -(-size // MTU_BYTES))
+    assert w == size + chunks * HEADER_BYTES
+    assert w > size or size == 0
+
+
+@given(n=st.integers(min_value=2, max_value=5000), seed=st.integers(0, 2**16))
+@settings(max_examples=30)
+def test_zipf_samples_in_range(n, seed):
+    g = ZipfianGenerator(n, rng=np.random.default_rng(seed))
+    s = g.sample(50)
+    assert s.min() >= 0 and s.max() < n
+
+
+@given(n=st.integers(min_value=2, max_value=500), seed=st.integers(0, 2**16))
+@settings(max_examples=20)
+def test_latest_generator_prefers_newest(n, seed):
+    g = LatestGenerator(n, rng=np.random.default_rng(seed))
+    s = g.sample(300)
+    assert s.min() >= 0 and s.max() < n
+    # The newest quartile dominates the oldest quartile.
+    newest = np.mean(s >= 3 * n // 4)
+    oldest = np.mean(s < n // 4)
+    assert newest > oldest
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_simulation_is_deterministic(seed):
+    """Same seed ⇒ bit-identical results, for any seed."""
+
+    def run():
+        cluster = NiceCluster(
+            ClusterConfig(n_storage_nodes=4, n_clients=2, replication_level=2, seed=seed)
+        )
+        cluster.warm_up()
+        client = cluster.clients[0]
+        results = []
+
+        def driver(sim):
+            for i in range(5):
+                r = yield client.put(f"k{i}", i, 100 + i)
+                results.append((round(sim.now, 12), r.ok))
+                g = yield client.get(f"k{i}")
+                results.append((round(sim.now, 12), g.value))
+
+        cluster.sim.process(driver(cluster.sim))
+        cluster.sim.run(until=20.0)
+        return results, cluster.network.total_link_bytes()
+
+    a, b = run(), run()
+    assert a == b

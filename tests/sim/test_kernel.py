@@ -1,0 +1,303 @@
+"""Unit tests for the event loop and event primitives."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_stops_clock_between_events():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+
+    sim.process(proc(sim))
+    end = sim.run(until=3.0)
+    assert end == 3.0
+    assert sim.now == 3.0
+    # remaining event still fires after resuming
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_last_event_advances_to_until():
+    sim = Simulator()
+    sim.process(iter([]).__next__ and (x for x in []))  # no-op empty generator
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(waiter(sim, 3.0, "c"))
+    sim.process(waiter(sim, 1.0, "a"))
+    sim.process(waiter(sim, 2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_creation_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(waiter(sim, tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        value = yield ev
+        got.append(value)
+
+    sim.process(waiter(sim, ev))
+    sim.call_in(2.0, ev.succeed, 42)
+    sim.run()
+    assert got == [42]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim, ev))
+    sim.call_in(1.0, ev.fail, ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_aborts_simulation():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        sim.run()
+
+
+def test_defused_failure_does_not_abort():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("handled elsewhere")).defuse()
+    sim.run()  # must not raise
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Timeout(sim, -1.0)
+
+
+def test_callback_on_processed_event_still_runs():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("late")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        got = yield AnyOf(sim, [t1, t2])
+        results.append((sim.now, list(got.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        got = yield AllOf(sim, [t1, t2])
+        results.append((sim.now, sorted(got.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert results == [(5.0, ["fast", "slow"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        got = yield AllOf(sim, [])
+        done.append((sim.now, got))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [(0.0, {})]
+
+
+def test_condition_propagates_failure():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim):
+        ev = sim.event()
+        sim.call_in(1.0, ev.fail, KeyError("k"))
+        try:
+            yield AllOf(sim, [ev, sim.timeout(10.0)])
+        except KeyError:
+            caught.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_call_at_and_call_in():
+    sim = Simulator()
+    marks = []
+    sim.call_at(4.0, marks.append, "at4")
+    sim.call_in(2.0, marks.append, "in2")
+    sim.run()
+    assert marks == ["in2", "at4"]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.ok
+
+
+def test_stop_simulation_from_process():
+    sim = Simulator()
+    seen = []
+
+    def stopper(sim):
+        yield sim.timeout(2.0)
+        seen.append("stop")
+        raise StopSimulation()
+
+    def later(sim):
+        yield sim.timeout(5.0)
+        seen.append("late")
+
+    sim.process(stopper(sim))
+    sim.process(later(sim))
+    sim.run()  # StopSimulation halts the run cleanly
+    assert seen == ["stop"]
+    assert sim.now == 2.0
+
+
+def test_simulator_stop_via_event_callback():
+    sim = Simulator()
+    seen = []
+    sim.call_in(2.0, seen.append, "a")
+
+    def stop(_):
+        raise StopSimulation()
+
+    ev = sim.event()
+    ev.add_callback(stop)
+    sim.call_in(3.0, ev.succeed)
+    sim.call_in(4.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a"]
+    assert sim.now == 3.0
+
+
+def test_step_processes_one_event():
+    sim = Simulator()
+    marks = []
+    sim.call_in(1.0, marks.append, 1)
+    sim.call_in(2.0, marks.append, 2)
+    assert sim.step()
+    assert marks == [1]
+    assert sim.step()
+    assert marks == [1, 2]
+    assert not sim.step()
+
+
+def test_pending_events_counts_heap():
+    sim = Simulator()
+    assert sim.pending_events == 0
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    assert sim.pending_events == 2

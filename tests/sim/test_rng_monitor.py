@@ -1,0 +1,118 @@
+"""Unit tests for RNG streams and monitors."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, RateSeries, RngRegistry, Tally, summary_stats
+
+
+def test_rng_same_seed_same_stream():
+    a = RngRegistry(7).stream("workload")
+    b = RngRegistry(7).stream("workload")
+    assert a.integers(0, 1_000_000, 10).tolist() == b.integers(0, 1_000_000, 10).tolist()
+
+
+def test_rng_streams_independent_of_creation_order():
+    r1 = RngRegistry(7)
+    _ = r1.stream("x")
+    s1 = r1.stream("workload").integers(0, 1_000_000, 10).tolist()
+    r2 = RngRegistry(7)
+    s2 = r2.stream("workload").integers(0, 1_000_000, 10).tolist()
+    assert s1 == s2
+
+
+def test_rng_distinct_names_distinct_streams():
+    r = RngRegistry(7)
+    a = r.stream("a").integers(0, 1_000_000, 10).tolist()
+    b = r.stream("b").integers(0, 1_000_000, 10).tolist()
+    assert a != b
+
+
+def test_rng_stream_cached():
+    r = RngRegistry(1)
+    assert r.stream("x") is r.stream("x")
+
+
+def test_rng_spawn_children_deterministic():
+    a = RngRegistry(3).spawn("node1").stream("s").integers(0, 100, 5).tolist()
+    b = RngRegistry(3).spawn("node1").stream("s").integers(0, 100, 5).tolist()
+    c = RngRegistry(3).spawn("node2").stream("s").integers(0, 100, 5).tolist()
+    assert a == b
+    assert a != c
+
+
+def test_rng_seed_type_checked():
+    with pytest.raises(TypeError):
+        RngRegistry("seed")  # type: ignore[arg-type]
+
+
+def test_counter_add_and_reset():
+    c = Counter("bytes")
+    c.add(10)
+    c.add()
+    assert c.value == 11
+    assert c.reset() == 11
+    assert c.value == 0
+
+
+def test_counter_rejects_negative():
+    c = Counter()
+    with pytest.raises(ValueError):
+        c.add(-1)
+
+
+def test_tally_moments():
+    t = Tally()
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        t.observe(v)
+    assert t.count == 4
+    assert t.mean == pytest.approx(2.5)
+    assert t.stdev == pytest.approx(1.2909944, rel=1e-6)
+    assert t.minimum == 1.0
+    assert t.maximum == 4.0
+
+
+def test_tally_percentile():
+    t = Tally()
+    for v in range(1, 101):
+        t.observe(float(v))
+    assert t.percentile(50) == pytest.approx(50.5)
+    assert t.percentile(0) == 1.0
+    assert t.percentile(100) == 100.0
+
+
+def test_tally_empty():
+    t = Tally()
+    assert math.isnan(t.mean)
+    assert t.stdev == 0.0
+
+
+def test_tally_without_samples_rejects_percentile():
+    t = Tally(keep_samples=False)
+    t.observe(1.0)
+    with pytest.raises(ValueError):
+        t.percentile(50)
+
+
+def test_rate_series_binning():
+    rs = RateSeries(bin_width=1.0)
+    rs.record(0.1)
+    rs.record(0.9)
+    rs.record(2.5, count=3)
+    series = dict(rs.series(t_end=3.0))
+    assert series[0.0] == 2.0
+    assert series[1.0] == 0.0
+    assert series[2.0] == 3.0
+    assert rs.total() == 5
+
+
+def test_rate_series_invalid_width():
+    with pytest.raises(ValueError):
+        RateSeries(bin_width=0.0)
+
+
+def test_summary_stats():
+    s = summary_stats([2.0, 4.0])
+    assert s["mean"] == 3.0
+    assert s["count"] == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the reliable (any-k) multicast transport."""
+
+import pytest
+
+from repro.net import IPv4Address, IPv4Network, MTU_BYTES
+from repro.sim import RngRegistry
+from repro.transport import MulticastEndpoint, MulticastSender
+from tests.helpers import Star
+
+VGROUP = IPv4Network("10.11.1.0/24")
+VADDR = IPv4Address("10.11.1.7")
+PORT = 7001
+
+
+def make_mc_star(n_receivers=3, loss=0.0, **star_kw):
+    star = Star(n_hosts=n_receivers + 1, **star_kw)
+    sender_stack = star.stacks[0]
+    receivers = star.hosts[1:]
+    star.add_multicast_group(1, VGROUP, receivers)
+    rng = RngRegistry(11)
+    endpoints = [
+        MulticastEndpoint(
+            stack, PORT, chunk_loss_rate=loss, rng=rng.stream(f"loss:{i}") if loss else None
+        )
+        for i, stack in enumerate(star.stacks[1:])
+    ]
+    return star, MulticastSender(sender_stack), endpoints
+
+
+def test_all_receivers_get_message_and_sender_completes():
+    star, sender, endpoints = make_mc_star(3)
+    results = {}
+
+    def send(sim):
+        acks = yield sender.send(VADDR, PORT, {"obj": "v"}, 5000, n_receivers=3)
+        results["acks"] = acks
+        results["t"] = sim.now
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=10.0)
+    assert len(results["acks"]) == 3
+    for ep in endpoints:
+        assert len(ep.messages) == 1
+        msg = ep.messages.items[0]
+        assert msg.payload == {"obj": "v"}
+        assert msg.payload_bytes == 5000
+        assert msg.virtual_dst == VADDR
+        assert msg.src_ip == star.hosts[0].ip
+
+
+def test_quorum_returns_before_slow_receivers():
+    """Fig 8 mechanism: any-k returns when k fast receivers finish."""
+    star, sender, endpoints = make_mc_star(3, latency_s=0.0)
+    # Make receiver 3's link 20x slower (50 Mbps vs 1 Gbps).
+    star.link_of(star.hosts[3]).set_bandwidth(50e6)
+    results = {}
+    size = 1 << 20
+
+    def send(sim):
+        acks = yield sender.send(VADDR, PORT, "blob", size, n_receivers=3, quorum=2)
+        results["t"] = sim.now
+        results["n"] = len(acks)
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=60.0)
+    assert results["n"] == 2
+    # Completion is near the fast-path time (~2 hops at 1 Gbps ≈ 17 ms),
+    # far below the slow receiver's ~170 ms leg.
+    assert results["t"] < 0.1
+    # The straggler still completes eventually (served post-return).
+    assert len(endpoints[2].messages) == 1
+
+
+def test_loss_triggers_nack_repair_and_delivery():
+    star, sender, endpoints = make_mc_star(2, loss=0.3)
+    size = 50 * MTU_BYTES  # 50 chunks: loss virtually certain
+    done = {}
+
+    def send(sim):
+        acks = yield sender.send(VADDR, PORT, "lossy", size, n_receivers=2)
+        done["acks"] = len(acks)
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=30.0)
+    assert done["acks"] == 2
+    assert sum(ep.nacks_sent for ep in endpoints) > 0
+    assert sum(ep.repairs_received for ep in endpoints) > 0
+    for ep in endpoints:
+        assert len(ep.messages) == 1
+
+
+def test_lossless_sends_no_nacks():
+    star, sender, endpoints = make_mc_star(3)
+
+    def send(sim):
+        yield sender.send(VADDR, PORT, "x", 100, n_receivers=3)
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=5.0)
+    assert all(ep.nacks_sent == 0 for ep in endpoints)
+
+
+def test_multicast_network_load_is_one_copy_per_leg():
+    """The NICE replication-optimality claim at transport level (Fig 6)."""
+    star, sender, endpoints = make_mc_star(3)
+    size = 100_000
+
+    def send(sim):
+        yield sender.send(VADDR, PORT, "x", size, n_receivers=3)
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=5.0)
+    total = star.net.total_link_bytes()
+    from repro.net import wire_size
+
+    data_legs = 4 * wire_size(size)  # 1 uplink + 3 downlinks
+    acks = 3 * 2 * wire_size(0)  # 3 acks, 2 hops each
+    assert total == data_legs + acks
+
+
+def test_sender_validates_arguments():
+    star, sender, _ = make_mc_star(2)
+    with pytest.raises(ValueError):
+        sender.send(VADDR, PORT, "x", 10, n_receivers=0)
+    with pytest.raises(ValueError):
+        sender.send(VADDR, PORT, "x", 10, n_receivers=3, quorum=4)
+    with pytest.raises(ValueError):
+        sender.send(VADDR, PORT, "x", 10, n_receivers=3, quorum=0)
+
+
+def test_endpoint_validates_loss_config():
+    star = Star(n_hosts=2)
+    with pytest.raises(ValueError):
+        MulticastEndpoint(star.stacks[1], PORT, chunk_loss_rate=0.5, rng=None)
+    with pytest.raises(ValueError):
+        MulticastEndpoint(
+            star.stacks[1], PORT, chunk_loss_rate=1.5, rng=RngRegistry(1).stream("x")
+        )
+
+
+def test_two_concurrent_sends_demux_by_op():
+    star, sender, endpoints = make_mc_star(2)
+    done = []
+
+    def send(sim, tag):
+        yield sender.send(VADDR, PORT, tag, 1000, n_receivers=2)
+        done.append(tag)
+
+    star.sim.process(send(star.sim, "a"))
+    star.sim.process(send(star.sim, "b"))
+    star.sim.run(until=5.0)
+    assert sorted(done) == ["a", "b"]
+    for ep in endpoints:
+        payloads = sorted(m.payload for m in ep.messages.items)
+        assert payloads == ["a", "b"]
+
+
+def test_failed_receiver_does_not_block_quorum():
+    star, sender, endpoints = make_mc_star(3)
+    star.hosts[3].fail()
+    result = {}
+
+    def send(sim):
+        acks = yield sender.send(VADDR, PORT, "x", 1000, n_receivers=3, quorum=2)
+        result["n"] = len(acks)
+
+    star.sim.process(send(star.sim))
+    star.sim.run(until=10.0)
+    assert result["n"] == 2
