@@ -97,7 +97,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         nargs="+",
-        help="fig4..fig12, sec46, ablation-*, or 'all'",
+        help="fig4..fig12, sec46, ablation-*, 'perf', or 'all'",
     )
     parser.add_argument(
         "--ops", type=int, default=100,
@@ -107,11 +107,31 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="paper-scale run (1000 ops/point, 20K YCSB ops/client)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="perf suite only: tiny sizes for CI sanity runs",
+    )
+    parser.add_argument(
+        "--perf-out", default=None, metavar="PATH",
+        help="perf suite only: output JSON path (default BENCH_perf.json)",
+    )
     args = parser.parse_args(argv)
     n_ops = 1000 if args.full else args.ops
     registry = _registry(n_ops, args.full)
 
     wanted = args.experiment
+    if "perf" in wanted:
+        from . import perf
+
+        out_path = args.perf_out or perf.DEFAULT_OUT
+        t0 = time.time()
+        report = perf.run_suite(smoke=args.smoke, out_path=out_path)
+        print(perf.format_report(report))
+        print(f"wrote {out_path}")
+        print(f"({time.time() - t0:.1f}s wall)\n")
+        wanted = [w for w in wanted if w != "perf"]
+        if not wanted:
+            return 0
     if "all" in wanted:
         wanted = list(registry)
     unknown = [w for w in wanted if w not in registry]

@@ -57,16 +57,19 @@ def build_noob(**overrides) -> NoobCluster:
 
 
 def run_to_completion(cluster, process, horizon_s: float = MAX_HORIZON_S):
-    """Drive the simulator until ``process`` finishes; return its value."""
+    """Drive the simulator until ``process`` finishes; return its value.
+
+    Uses :meth:`Simulator.run_until`, which stops exactly when the process
+    event is processed instead of spinning fixed 50-sim-second ``run``
+    chunks past it.
+    """
     deadline = cluster.sim.now + horizon_s
-    while not process.triggered and cluster.sim.now < deadline:
-        before = cluster.sim.pending_events
-        cluster.sim.run(until=min(cluster.sim.now + 50.0, deadline))
-        if cluster.sim.pending_events == 0 and not process.triggered:
+    cluster.sim.run_until(process, until=deadline)
+    if not process.triggered:
+        if cluster.sim.pending_events == 0:
             raise RuntimeError(
                 f"simulation drained with process still pending at t={cluster.sim.now}"
             )
-    if not process.triggered:
         raise RuntimeError(f"experiment exceeded horizon of {horizon_s} sim-seconds")
     if process.ok is False:
         raise process.value

@@ -1,0 +1,239 @@
+"""Perf-regression microbenchmark suite.
+
+Three benches cover the three layers of the simulator fast path:
+
+* ``kernel_churn`` — raw event-loop throughput: processes spinning on
+  timeouts, ``AnyOf``/``AllOf`` joins, and deferred calls (the allocation
+  profile 2PC exercises).
+* ``switch_lookup`` — :class:`~repro.net.flowtable.FlowTable` lookup under
+  N installed rules, exact-match cache on vs off.
+* ``fig5_put_leg`` — an end-to-end fig5-style put leg on a warmed NICE
+  cluster, cache on vs off, asserting the results are bit-identical.
+
+``python -m repro.bench perf`` runs the suite and writes ``BENCH_perf.json``
+(schema documented in EXPERIMENTS.md) so every future PR has a perf
+trajectory to regress against.  Wall-clock numbers are machine-dependent;
+the *ratios* (cache speedups) and the simulated results are not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Optional
+
+from ..net import FlowTable, IPv4Address, IPv4Network, Match, Output, Packet, Proto, Rule
+from ..sim import AllOf, AnyOf, Simulator
+from ..workloads import closed_loop_puts
+from .harness import build_nice, run_to_completion
+
+__all__ = ["run_suite", "format_report", "DEFAULT_OUT"]
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Environment escape hatch honored by FlowTable (see flowtable.py).
+DISABLE_ENV = "REPRO_DISABLE_FLOW_CACHE"
+
+
+# ------------------------------------------------------------------ kernel
+def _churn_proc(sim: Simulator, rounds: int):
+    for _ in range(rounds):
+        # The 1–3 event joins that dominate the storage protocols.
+        got = yield AnyOf(sim, [sim.timeout(1.0, "fast"), sim.timeout(2.0, "slow")])
+        assert "fast" in list(got.values())
+        yield AllOf(sim, [sim.timeout(0.5), sim.timeout(1.0), sim.timeout(1.5)])
+        yield sim.timeout(0.25)
+
+
+def bench_kernel_churn(n_procs: int = 64, rounds: int = 250) -> dict:
+    """Event-loop throughput: timeout + condition churn across processes."""
+    sim = Simulator()
+    marks = []
+    for _ in range(n_procs):
+        sim.process(_churn_proc(sim, rounds))
+    for i in range(n_procs * rounds):
+        sim.call_in(float(i % 97) * 0.01, marks.append, None)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    events = sim._eid  # total heap entries scheduled (kernel-internal counter)
+    return {
+        "processes": n_procs,
+        "rounds": rounds,
+        "scheduled_events": events,
+        "wall_s": wall,
+        "events_per_s": events / wall if wall > 0 else None,
+    }
+
+
+# ------------------------------------------------------------------ switch
+def _lookup_table(n_rules: int, cache_enabled: bool) -> FlowTable:
+    table = FlowTable(cache_enabled=cache_enabled)
+    base = IPv4Address("10.64.0.0")
+    for i in range(n_rules):
+        table.add(
+            Rule(
+                Match(ip_dst=IPv4Network(base + i, 32), proto=Proto.UDP),
+                [Output(1)],
+                priority=100,
+            )
+        )
+    return table
+
+
+def _lookup_packets(n_rules: int, n_flows: int) -> list:
+    base = IPv4Address("10.64.0.0")
+    src = IPv4Address("10.0.0.1")
+    packets = []
+    for f in range(n_flows):
+        # Spread flows across the whole table so the linear scan pays the
+        # average (n/2) depth, not a best- or worst-case corner.
+        idx = (f * n_rules) // n_flows
+        packets.append(
+            Packet(src_ip=src, dst_ip=base + idx, proto=Proto.UDP, dport=4000,
+                   payload_bytes=64)
+        )
+    return packets
+
+
+def bench_switch_lookup(
+    n_rules: int = 1000, n_lookups: int = 20000, n_flows: int = 64
+) -> dict:
+    """FlowTable.lookup under ``n_rules`` installed rules, cache on vs off."""
+    packets = _lookup_packets(n_rules, n_flows)
+    out = {"n_rules": n_rules, "n_lookups": n_lookups, "n_flows": n_flows}
+    for label, cache_enabled in (("cached", True), ("uncached", False)):
+        table = _lookup_table(n_rules, cache_enabled)
+        lookup = table.lookup
+        t0 = time.perf_counter()
+        for k in range(n_lookups):
+            lookup(packets[k % n_flows], 1)
+        wall = time.perf_counter() - t0
+        entry = {
+            "wall_s": wall,
+            "lookups_per_s": n_lookups / wall if wall > 0 else None,
+        }
+        if cache_enabled:
+            total = table.cache_hits + table.cache_misses
+            entry["hit_rate"] = table.cache_hits / total if total else 0.0
+        out[label] = entry
+    out["speedup"] = out["uncached"]["wall_s"] / out["cached"]["wall_s"]
+    return out
+
+
+# ------------------------------------------------------------- end-to-end
+#: Vring partitions for the end-to-end leg: 128 subgroups on 15 nodes puts
+#: ~(R+1)·128 ≈ 800 rules in the switch — the §4.6 regime the cache is for.
+#: (The default 16-partition table is short enough that the linear scan
+#: hides behind kernel work.)
+E2E_PARTITIONS = 128
+
+
+def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool) -> dict:
+    prior = os.environ.get(DISABLE_ENV)
+    os.environ[DISABLE_ENV] = "1" if disable_cache else "0"
+    try:
+        t0 = time.perf_counter()
+        cluster = build_nice(
+            n_storage_nodes=15, n_clients=1, n_partitions=E2E_PARTITIONS
+        )
+        client = cluster.clients[0]
+        key = f"perf-{size}"
+
+        def driver(sim):
+            seed = yield client.put(key, "x", size)
+            assert seed.ok, "seed put failed"
+            tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            return tally
+
+        tally = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+        wall = time.perf_counter() - t0
+    finally:
+        if prior is None:
+            os.environ.pop(DISABLE_ENV, None)
+        else:
+            os.environ[DISABLE_ENV] = prior
+    return {
+        "wall_s": wall,
+        "ops_per_s": n_ops / wall if wall > 0 else None,
+        "sim_time_s": cluster.sim.now,
+        "put_ms": tally.mean * 1e3,
+        "put_count": tally.count,
+        "installed_rules": len(cluster.switch.table),
+    }
+
+
+def bench_fig5_put_leg(n_ops: int = 400, size: int = 1 << 12) -> dict:
+    """Fig5-style put leg end to end; cache on vs off must agree exactly."""
+    cached = _run_fig5_leg(n_ops, size, disable_cache=False)
+    uncached = _run_fig5_leg(n_ops, size, disable_cache=True)
+    identical = (
+        cached["put_ms"] == uncached["put_ms"]
+        and cached["sim_time_s"] == uncached["sim_time_s"]
+        and cached["put_count"] == uncached["put_count"]
+    )
+    return {
+        "n_ops": n_ops,
+        "size_bytes": size,
+        "cached": cached,
+        "uncached": uncached,
+        "speedup": uncached["wall_s"] / cached["wall_s"],
+        "results_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------- driver
+def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dict:
+    """Run every bench; write ``out_path`` (unless None); return the report."""
+    if out_path:
+        out_dir = os.path.dirname(os.path.abspath(out_path))
+        if not os.path.isdir(out_dir):
+            raise SystemExit(f"perf: output directory does not exist: {out_dir}")
+    if smoke:
+        kernel = bench_kernel_churn(n_procs=16, rounds=40)
+        lookup = bench_switch_lookup(n_rules=1000, n_lookups=3000)
+        fig5 = bench_fig5_put_leg(n_ops=40)
+    else:
+        kernel = bench_kernel_churn()
+        lookup = bench_switch_lookup()
+        fig5 = bench_fig5_put_leg()
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "benches": {
+            "kernel_churn": kernel,
+            "switch_lookup": lookup,
+            "fig5_put_leg": fig5,
+        },
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    b = report["benches"]
+    k, l, f = b["kernel_churn"], b["switch_lookup"], b["fig5_put_leg"]
+    lines = [
+        f"perf suite (schema v{report['schema_version']},"
+        f" smoke={report['smoke']}, python {report['python']})",
+        f"  kernel_churn   : {k['events_per_s']:,.0f} events/s"
+        f" ({k['scheduled_events']} events in {k['wall_s']:.3f}s)",
+        f"  switch_lookup  : {l['cached']['lookups_per_s']:,.0f} lookups/s cached vs"
+        f" {l['uncached']['lookups_per_s']:,.0f} uncached"
+        f" at {l['n_rules']} rules -> {l['speedup']:.1f}x"
+        f" (hit rate {l['cached']['hit_rate']:.3f})",
+        f"  fig5_put_leg   : {f['cached']['wall_s']:.3f}s cached vs"
+        f" {f['uncached']['wall_s']:.3f}s uncached -> {f['speedup']:.2f}x,"
+        f" identical={f['results_identical']}",
+    ]
+    return "\n".join(lines)

@@ -482,7 +482,7 @@ class NiceControllerApp(ControllerApp):
         """Total vring entries across switches (the §4.6 budget)."""
         total = 0
         for switch in self.channel.switches:
-            for rule in switch.table.rules:
+            for rule in switch.table.iter_rules():
                 if any(rule.cookie.startswith(p) for p in cookie_prefixes):
                     total += 1
         return total

@@ -10,6 +10,8 @@ optional idle timeouts; the controller owns rule lifecycle.
 from __future__ import annotations
 
 import itertools
+import os
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -152,34 +154,88 @@ class Rule:
         self.last_used = now
 
 
+def _rule_sort_key(rule: Rule) -> tuple:
+    return (-rule.priority, rule.seq)
+
+
+#: Sentinel distinguishing "cached table miss" (None) from "not cached".
+_NOT_CACHED = object()
+
+
+def flow_cache_enabled_default() -> bool:
+    """Process-wide default for the exact-match cache.
+
+    ``REPRO_DISABLE_FLOW_CACHE=1`` is the escape hatch used by the
+    determinism regression tests and the perf harness to measure the
+    wildcard-only slow path; anything else leaves the cache on.
+    """
+    return os.environ.get("REPRO_DISABLE_FLOW_CACHE", "") != "1"
+
+
 class FlowTable:
     """Priority-ordered rule set with OpenFlow-like lookup semantics.
 
     Lookup returns the highest-priority matching rule; ties break on
     insertion order (deterministic).  The table enforces a capacity so the
     §4.6 switch-scalability analysis can be exercised for real.
+
+    An exact-match flow cache (the Open vSwitch megaflow/microflow split,
+    which the §5.1 OVS deployment relies on) fronts the wildcard table:
+    the first lookup for a header tuple pays the linear scan, subsequent
+    packets of the same flow hit a dict keyed on
+    ``(in_port, eth_dst, src_ip, dst_ip, proto, dport)``.  Every table
+    mutation (``add`` / ``remove`` / ``remove_by_cookie`` / ``expire_idle``)
+    bumps a generation counter; a stale cache is discarded wholesale on the
+    next lookup, so flow-mods and idle expiry invalidate correctly.  The
+    cache is a pure memo over fields the wildcard match inspects, so it
+    never changes which rule a packet selects — only how fast.
     """
 
-    def __init__(self, capacity: int = 128 * 1024):
+    #: Cached exact-match entries before the memo is wiped (bounds memory on
+    #: adversarial many-flow workloads; eviction-by-reset keeps determinism).
+    CACHE_LIMIT = 65536
+
+    def __init__(self, capacity: int = 128 * 1024, cache_enabled: Optional[bool] = None):
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
         self._rules: List[Rule] = []
+        self.cache_enabled = (
+            flow_cache_enabled_default() if cache_enabled is None else cache_enabled
+        )
+        self._cache: dict = {}
+        self._generation = 0
+        self._cache_generation = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __len__(self) -> int:
         return len(self._rules)
 
     @property
     def rules(self) -> tuple:
+        """Public snapshot of the rule list (copy; safe to hold)."""
         return tuple(self._rules)
+
+    def iter_rules(self):
+        """Internal read-only view for iteration-only callers (no copy).
+
+        Callers must not mutate the table while iterating.
+        """
+        return iter(self._rules)
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every mutation; the cache is valid for one generation."""
+        return self._generation
 
     def add(self, rule: Rule) -> Rule:
         if len(self._rules) >= self.capacity:
             raise OverflowError(
                 f"flow table full ({self.capacity} entries) — see §4.6 scalability"
             )
-        self._rules.append(rule)
-        self._rules.sort(key=lambda r: (-r.priority, r.seq))
+        insort(self._rules, rule, key=_rule_sort_key)
+        self._generation += 1
         return rule
 
     def remove(self, rule: Rule) -> None:
@@ -187,14 +243,43 @@ class FlowTable:
             self._rules.remove(rule)
         except ValueError:
             pass
+        else:
+            self._generation += 1
 
     def remove_by_cookie(self, cookie: str) -> int:
         """Delete all rules tagged with ``cookie``; returns removal count."""
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.cookie != cookie]
-        return before - len(self._rules)
+        removed = before - len(self._rules)
+        if removed:
+            self._generation += 1
+        return removed
 
     def lookup(self, packet: Packet, in_port: Optional[int] = None) -> Optional[Rule]:
+        if not self.cache_enabled:
+            return self._scan(packet, in_port)
+        if self._cache_generation != self._generation or len(self._cache) > self.CACHE_LIMIT:
+            self._cache.clear()
+            self._cache_generation = self._generation
+        key = (
+            in_port,
+            packet.dst_mac,
+            packet.src_ip,
+            packet.dst_ip,
+            packet.proto,
+            packet.dport,
+        )
+        hit = self._cache.get(key, _NOT_CACHED)
+        if hit is not _NOT_CACHED:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        rule = self._scan(packet, in_port)
+        self._cache[key] = rule
+        return rule
+
+    def _scan(self, packet: Packet, in_port: Optional[int]) -> Optional[Rule]:
+        """The wildcard slow path: linear scan in priority order."""
         for rule in self._rules:
             if rule.match.matches(packet, in_port):
                 return rule
@@ -210,6 +295,8 @@ class FlowTable:
             else:
                 keep.append(r)
         self._rules = keep
+        if evicted:
+            self._generation += 1
         return evicted
 
 

@@ -16,7 +16,7 @@ Two granularities share this one class (see DESIGN.md §5):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
@@ -81,15 +81,27 @@ class Packet:
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
             raise ValueError(f"negative payload size: {self.payload_bytes}")
+        # payload_bytes is immutable after construction, so the wire size is
+        # computed once (it is re-read on every link transmit and rule touch).
+        self._wire_size = wire_size(self.payload_bytes)
 
     @property
     def size_bytes(self) -> int:
         """Bytes this packet occupies on a wire (chunk headers included)."""
-        return wire_size(self.payload_bytes)
+        return self._wire_size
 
     def copy(self) -> "Packet":
-        """Independent copy for multicast fan-out (fresh uid, shared payload)."""
-        return replace(self, uid=next(_uid), trace=list(self.trace))
+        """Independent copy for multicast fan-out (fresh uid, shared payload).
+
+        Clones the instance dict directly rather than via
+        ``dataclasses.replace`` — this runs once per replication leg per
+        packet, and replace()'s re-validation showed up in profiles.
+        """
+        new = object.__new__(Packet)
+        new.__dict__.update(self.__dict__)
+        new.uid = next(_uid)
+        new.trace = list(self.trace)
+        return new
 
     def flow_key(self) -> Tuple:
         """(src, dst, proto, sport, dport) — connection identification."""

@@ -14,6 +14,7 @@ from .kernel import (
     AllOf,
     AnyOf,
     Condition,
+    ConditionValue,
     Event,
     NORMAL,
     Simulator,
@@ -31,6 +32,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "ConditionValue",
     "Counter",
     "Event",
     "Interrupt",

@@ -15,6 +15,7 @@ increasing counter — never on object identity.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Mapping
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Condition",
+    "ConditionValue",
     "AnyOf",
     "AllOf",
     "URGENT",
@@ -66,7 +68,9 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # Created lazily on first add_callback: most events carry 0–1
+        # callbacks, and the empty-list allocation shows up on the hot path.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = Event._PENDING
         self._ok: Optional[bool] = None
         self._processed = False
@@ -133,8 +137,9 @@ class Event:
             # Late registration: deliver on the next urgent tick so the
             # callback still observes a fully-triggered event.
             self.sim._schedule_call(0.0, callback, self, priority=URGENT)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
-            assert self._callbacks is not None
             self._callbacks.append(callback)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -176,11 +181,70 @@ class Timeout(Event):
         sim._schedule_event(self, NORMAL, delay=delay)
 
 
+class ConditionValue(Mapping):
+    """Snapshot of a small condition's result without building a dict.
+
+    Semantically identical to the dict ``{ev: ev.value for ev in events}``
+    (supports ``in``, ``[]``, ``.get``, ``.values()``, ``==`` against
+    dicts), but stores only a tuple of the constituent events that had been
+    processed when the condition triggered.  Membership is frozen at
+    trigger time — exactly what the eager dict captured — and the
+    constituent values are immutable once processed, so lazy access is
+    safe.  For the 1–3 event ``AnyOf``/``AllOf`` cases that dominate the
+    2PC and retry paths, an identity scan over ≤3 events beats hashing
+    event objects into a fresh dict on every join.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: tuple):
+        self._events = events
+
+    def __getitem__(self, ev: Event) -> Any:
+        for e in self._events:
+            if e is ev:
+                return e._value
+        raise KeyError(ev)
+
+    def __contains__(self, ev: object) -> bool:
+        for e in self._events:
+            if e is ev:
+                return True
+        return False
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def todict(self) -> dict:
+        return {e: e._value for e in self._events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ConditionValue({self.todict()!r})"
+
+
+#: Condition fan-ins at or below this size return a ConditionValue
+#: instead of a dict (the no-allocation fast path).
+_SMALL_CONDITION = 3
+
+
+def _eval_any(events: List[Event], count: int) -> bool:
+    return count >= 1
+
+
+def _eval_all(events: List[Event], count: int) -> bool:
+    return count >= len(events)
+
+
 class Condition(Event):
     """Waits on several events; triggers when ``evaluate`` says so.
 
-    The condition's value is a dict mapping each *triggered* constituent
-    event to its value, in trigger order.
+    The condition's value maps each constituent event that was *processed*
+    at trigger time to its value.  Large fan-ins get a plain dict; small
+    (≤3 event) fan-ins get a :class:`ConditionValue`, a lighter mapping
+    with identical semantics.
     """
 
     __slots__ = ("_events", "_evaluate", "_count")
@@ -221,18 +285,50 @@ class Condition(Event):
         if self._evaluate(self._events, self._count):
             self.succeed(self._collect())
 
-    def _collect(self) -> dict:
-        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+    def _collect(self):
+        ready = tuple(ev for ev in self._events if ev._processed and ev._ok)
+        if len(self._events) <= _SMALL_CONDITION:
+            return ConditionValue(ready)
+        return {ev: ev._value for ev in ready}
 
 
 def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
     """Condition that triggers as soon as any constituent triggers."""
-    return Condition(sim, lambda evs, n: n >= 1, events)
+    return Condition(sim, _eval_any, events)
 
 
 def AllOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
     """Condition that triggers when all constituents have triggered."""
-    return Condition(sim, lambda evs, n: n >= len(evs), events)
+    return Condition(sim, _eval_all, events)
+
+
+class _Call:
+    """A pooled heap entry that invokes ``func(*args)`` when popped.
+
+    ``call_at``/``call_in``/``_schedule_call`` used to wrap every deferred
+    call in a full :class:`Event` plus a closure callback — three
+    allocations per timer on the hottest kernel path.  This slotted stand-in
+    quacks like a processed event as far as the run loop is concerned
+    (``_process()``) and is recycled through a per-simulator free list.
+    """
+
+    __slots__ = ("sim", "func", "args")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.func: Optional[Callable] = None
+        self.args: tuple = ()
+
+    def _process(self) -> None:
+        func, args = self.func, self.args
+        # Release before invoking: the callee may schedule new calls and
+        # immediately reuse this object (its heap entry is already popped).
+        self.func = None
+        self.args = ()
+        pool = self.sim._call_pool
+        if len(pool) < 256:
+            pool.append(self)
+        func(*args)
 
 
 class Simulator:
@@ -250,6 +346,7 @@ class Simulator:
         self._heap: list = []
         self._eid = 0
         self._running = False
+        self._call_pool: List[_Call] = []
 
     # -- clock -------------------------------------------------------------
     @property
@@ -263,16 +360,17 @@ class Simulator:
         return self._eid
 
     def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, priority, self._next_eid(), event))
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._heap, (self._now + delay, priority, eid, event))
 
     def _schedule_call(
         self, delay: float, func: Callable, *args: Any, priority: int = NORMAL
     ) -> None:
-        ev = Event(self)
-        ev._ok = True
-        ev._value = None
-        ev.add_callback(lambda _ev: func(*args))
-        heapq.heappush(self._heap, (self._now + delay, priority, self._next_eid(), ev))
+        call = self._call_pool.pop() if self._call_pool else _Call(self)
+        call.func = func
+        call.args = args
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._heap, (self._now + delay, priority, eid, call))
 
     # -- public API ----------------------------------------------------------
     def event(self) -> Event:
@@ -291,9 +389,8 @@ class Simulator:
 
     def process(self, generator) -> "Process":
         """Start a new process running ``generator`` (see :mod:`.process`)."""
-        from .process import Process
-
-        return Process(self, generator)
+        cls = _process_cls()
+        return cls(self, generator)
 
     def call_at(self, when: float, func: Callable, *args: Any) -> None:
         """Invoke ``func(*args)`` at absolute simulated time ``when``."""
@@ -315,21 +412,77 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                when, _prio, _eid, event = self._heap[0]
-                if until is not None and when > until:
+            if until is None:
+                # Fast loop: no deadline check and no heap peek per event.
+                while heap:
+                    when, _prio, _eid, event = heappop(heap)
+                    self._now = when
+                    try:
+                        event._process()
+                    except StopSimulation:
+                        break
+                return self._now
+            while heap:
+                when, _prio, _eid, event = heap[0]
+                if when > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = when
                 try:
                     event._process()
                 except StopSimulation:
                     break
             else:
-                if until is not None and until > self._now:
+                if until > self._now:
                     self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, event: Event, until: Optional[float] = None) -> float:
+        """Run until ``event`` has been processed; return the stop time.
+
+        Stops *exactly* when ``event``'s callbacks have run — no spinning
+        through fixed-size ``run(until=...)`` chunks and no draining of
+        unrelated same-time events afterwards.  Also stops if the heap
+        drains or simulated time would pass ``until`` (whichever comes
+        first); callers distinguish the cases via ``event.processed`` and
+        ``pending_events``.
+        """
+        if event.sim is not self:
+            raise SimulationError("run_until() got an event from another simulator")
+        if self._running:
+            raise SimulationError("run_until() is not reentrant")
+        if event._processed:
+            return self._now
+        self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        try:
+            if until is None:
+                while heap and not event._processed:
+                    when, _prio, _eid, entry = heappop(heap)
+                    self._now = when
+                    try:
+                        entry._process()
+                    except StopSimulation:
+                        break
+                return self._now
+            while heap and not event._processed:
+                when, _prio, _eid, entry = heap[0]
+                if when > until:
+                    self._now = until
+                    break
+                heappop(heap)
+                self._now = when
+                try:
+                    entry._process()
+                except StopSimulation:
+                    break
         finally:
             self._running = False
         return self._now
@@ -351,3 +504,17 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events currently scheduled (for tests/diagnostics)."""
         return len(self._heap)
+
+
+_Process = None
+
+
+def _process_cls():
+    """Late-bound :class:`~repro.sim.process.Process` (avoids the circular
+    import at module load and the per-call import inside ``process()``)."""
+    global _Process
+    if _Process is None:
+        from .process import Process as _P
+
+        _Process = _P
+    return _Process

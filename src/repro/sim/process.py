@@ -33,6 +33,23 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+class _Started:
+    """Singleton stand-in for the initial wake-up event of every process.
+
+    ``_resume`` only reads ``ok`` / ``value`` (and ``_defused`` on the
+    failure path), so one immutable shared instance replaces the per-process
+    ``Event`` + callback-list allocation the old init path paid.
+    """
+
+    __slots__ = ()
+    ok = True
+    value = None
+    _defused = True
+
+
+_STARTED = _Started()
+
+
 class Process(Event):
     """A running generator, resumable by the event loop."""
 
@@ -47,13 +64,9 @@ class Process(Event):
         self._gen = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # First resume happens on an urgent same-time event so that process
+        # First resume happens on an urgent same-time call so that process
         # bodies start deterministically before ordinary events at `now`.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        init.add_callback(self._resume)
-        sim._schedule_event(init, URGENT)
+        sim._schedule_call(0.0, self._resume, _STARTED, priority=URGENT)
 
     # -- state -------------------------------------------------------------
     @property

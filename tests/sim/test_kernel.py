@@ -5,6 +5,7 @@ import pytest
 from repro.sim import (
     AllOf,
     AnyOf,
+    ConditionValue,
     Event,
     SimulationError,
     Simulator,
@@ -301,3 +302,166 @@ def test_pending_events_counts_heap():
     sim.timeout(1.0)
     sim.timeout(2.0)
     assert sim.pending_events == 2
+
+
+# ---------------------------------------------------------------- run_until
+def test_run_until_stops_exactly_at_event():
+    sim = Simulator()
+    late = []
+    sim.call_in(5.0, late.append, "later")
+    target = sim.timeout(2.0, "hit")
+    end = sim.run_until(target)
+    assert end == 2.0
+    assert sim.now == 2.0
+    assert target.processed
+    assert late == []  # the 5.0s event did not run
+    assert sim.pending_events == 1
+
+
+def test_run_until_does_not_drain_unrelated_same_time_events():
+    sim = Simulator()
+    seen = []
+    target = sim.timeout(1.0)
+    sim.call_in(1.0, seen.append, "same-time-after")  # scheduled after target
+    sim.run_until(target)
+    assert target.processed
+    assert seen == []
+
+
+def test_run_until_already_processed_returns_immediately():
+    sim = Simulator()
+    target = sim.timeout(1.0)
+    sim.run()
+    assert target.processed
+    sim.call_in(9.0, lambda: None)
+    assert sim.run_until(target) == 1.0
+    assert sim.pending_events == 1  # nothing was processed
+
+
+def test_run_until_respects_until_cap():
+    sim = Simulator()
+    target = sim.timeout(10.0)
+    end = sim.run_until(target, until=3.0)
+    assert end == 3.0
+    assert not target.processed
+    sim.run_until(target)
+    assert target.processed
+    assert sim.now == 10.0
+
+
+def test_run_until_drained_heap_stops():
+    sim = Simulator()
+    target = sim.event()  # never triggered
+    sim.call_in(1.0, lambda: None)
+    end = sim.run_until(target)
+    assert end == 1.0
+    assert not target.triggered
+    assert sim.pending_events == 0
+
+
+def test_run_until_rejects_foreign_event():
+    sim, other = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        sim.run_until(other.event())
+
+
+def test_run_until_process_value_available():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    p = sim.process(proc(sim))
+    sim.run_until(p)
+    assert p.processed
+    assert p.value == "done"
+
+
+# --------------------------------------------------- small-condition values
+def test_small_condition_value_is_mapping_compatible():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, "fast")
+        t2 = sim.timeout(5.0, "slow")
+        got = yield AnyOf(sim, [t1, t2])
+        results.append((got, t1, t2))
+
+    sim.process(proc(sim))
+    sim.run()
+    got, t1, t2 = results[0]
+    assert isinstance(got, ConditionValue)
+    assert t1 in got and t2 not in got
+    assert got[t1] == "fast"
+    assert got.get(t2) is None
+    assert list(got.values()) == ["fast"]
+    assert len(got) == 1
+    assert got == {t1: "fast"}  # dict equality both ways
+    assert {t1: "fast"} == got
+    with pytest.raises(KeyError):
+        got[t2]
+
+
+def test_small_condition_membership_snapshot_at_trigger():
+    """Same-time events processed *after* the condition triggered must not
+    leak into its value (the eager-dict semantics the fast path replaces)."""
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, "a")
+        t2 = sim.timeout(1.0, "b")  # same timestamp, scheduled after t1
+        got = yield AnyOf(sim, [t1, t2])
+        results.append((got, t1, t2))
+
+    sim.process(proc(sim))
+    sim.run()
+    got, t1, t2 = results[0]
+    assert t1 in got
+    assert t2 not in got  # t2 processed after the condition triggered
+
+
+def test_large_condition_still_returns_dict():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        ts = [sim.timeout(float(i + 1), i) for i in range(4)]
+        got = yield AllOf(sim, ts)
+        results.append(got)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert isinstance(results[0], dict)
+    assert sorted(results[0].values()) == [0, 1, 2, 3]
+
+
+# ------------------------------------------------------------- call pooling
+def test_pooled_calls_recycle_without_crosstalk():
+    sim = Simulator()
+    seen = []
+    # Chains of calls scheduling more calls exercise reuse of pooled slots.
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 5:
+            sim.call_in(0.5, chain, depth + 1)
+
+    sim.call_in(0.0, chain, 0)
+    sim.call_in(0.25, seen.append, "x")
+    sim.run()
+    assert seen == [0, "x", 1, 2, 3, 4, 5]
+
+
+def test_call_args_do_not_leak_between_pool_reuses():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.call_in(float(i), seen.append, i)
+    sim.run()
+    for i in range(10, 20):
+        sim.call_in(float(i), seen.append, i)
+    sim.run()
+    assert seen == list(range(20))

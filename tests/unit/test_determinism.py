@@ -1,0 +1,66 @@
+"""Determinism regression: the flow cache must not change any result.
+
+Runs a small fig5-style put leg twice with the same seed — once with the
+exact-match cache enabled, once with the ``REPRO_DISABLE_FLOW_CACHE=1``
+escape hatch — and asserts bit-identical result rows and final simulated
+time.  This is the contract that lets the cache ship at all: it is a memo
+over the wildcard scan, not a semantic change.
+"""
+
+from repro.bench.harness import build_nice, run_to_completion
+from repro.workloads import closed_loop_puts
+
+
+def _fig5_leg(n_ops=8, sizes=(4, 1 << 14)):
+    """A miniature fig5 put leg; returns (result rows, final sim time)."""
+    cluster = build_nice(n_storage_nodes=15, n_clients=1)
+    client = cluster.clients[0]
+    rows = []
+
+    def driver(sim):
+        for size in sizes:
+            key = f"repl-{size}"
+            seed = yield client.put(key, "x", size)
+            assert seed.ok
+            tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            rows.append(
+                {
+                    "size_bytes": size,
+                    "put_ms": tally.mean * 1e3,
+                    "stdev_ms": tally.stdev * 1e3,
+                    "count": tally.count,
+                }
+            )
+
+    run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    stats = {
+        "cache_hits": cluster.switch.table.cache_hits,
+        "cache_misses": cluster.switch.table.cache_misses,
+        "cache_enabled": cluster.switch.table.cache_enabled,
+    }
+    return rows, cluster.sim.now, stats
+
+
+def test_fig5_leg_identical_with_cache_on_and_off(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_FLOW_CACHE", "0")
+    rows_on, now_on, stats_on = _fig5_leg()
+    monkeypatch.setenv("REPRO_DISABLE_FLOW_CACHE", "1")
+    rows_off, now_off, stats_off = _fig5_leg()
+
+    # The runs really did take the two different paths.
+    assert stats_on["cache_enabled"] and not stats_off["cache_enabled"]
+    assert stats_on["cache_hits"] > 0
+    assert stats_off["cache_hits"] == stats_off["cache_misses"] == 0
+
+    # Bit-identical outcomes: every row field and the final clock.
+    assert rows_on == rows_off
+    assert now_on == now_off
+
+
+def test_same_seed_same_results_with_cache(monkeypatch):
+    """Two identical cache-enabled runs agree with themselves (sanity)."""
+    monkeypatch.setenv("REPRO_DISABLE_FLOW_CACHE", "0")
+    a = _fig5_leg(n_ops=4, sizes=(1 << 10,))
+    b = _fig5_leg(n_ops=4, sizes=(1 << 10,))
+    assert a[0] == b[0]
+    assert a[1] == b[1]
