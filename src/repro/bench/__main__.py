@@ -97,7 +97,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         nargs="+",
-        help="fig4..fig12, sec46, ablation-*, 'perf', or 'all'",
+        help="fig4..fig12, sec46, ablation-*, 'perf', 'chaos', or 'all'",
     )
     parser.add_argument(
         "--ops", type=int, default=100,
@@ -109,11 +109,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="perf suite only: tiny sizes for CI sanity runs",
+        help="perf/chaos suites: shrunk matrices for CI sanity runs",
     )
     parser.add_argument(
         "--perf-out", default=None, metavar="PATH",
         help="perf suite only: output JSON path (default BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="chaos suite only: seeds per NICE schedule (default 5)",
+    )
+    parser.add_argument(
+        "--chaos-out", default=None, metavar="PATH",
+        help="chaos suite only: output JSON path (default BENCH_chaos.json)",
     )
     args = parser.parse_args(argv)
     n_ops = 1000 if args.full else args.ops
@@ -132,6 +140,19 @@ def main(argv=None) -> int:
         wanted = [w for w in wanted if w != "perf"]
         if not wanted:
             return 0
+    if "chaos" in wanted:
+        from . import chaos
+
+        out_path = args.chaos_out or chaos.DEFAULT_OUT
+        report = chaos.run_suite(
+            seeds=args.seeds, smoke=args.smoke, out_path=out_path
+        )
+        print(chaos.format_report(report))
+        print(f"wrote {out_path}")
+        print(f"({report['wall_s']:.1f}s wall)\n")
+        wanted = [w for w in wanted if w != "chaos"]
+        if not wanted:
+            return 0 if report["passed"] else 1
     if "all" in wanted:
         wanted = list(registry)
     unknown = [w for w in wanted if w not in registry]

@@ -1,0 +1,309 @@
+"""The chaos × consistency verification sweep (``python -m repro.bench chaos``).
+
+For every (access mode, fault schedule, seed) cell the sweep builds a
+fresh cluster, runs a paced put/get workload against one partition while
+the :class:`~repro.chaos.ChaosEngine` plays the schedule, records the
+full op history, and verifies it — the cheap staleness screen first, then
+the exact Wing–Gong linearizability check.  The result is a pass/fail
+matrix written to ``BENCH_chaos.json``.
+
+Expectations encode the paper's claim (§3.3, §4.5): NICE and the honestly
+configured NOOB variants stay linearizable through every schedule, while
+the *weak* NOOB configuration — primary-only replication with round-robin
+reads, a config the baseline happily accepts — must be **caught** serving
+stale data, with a minimal counterexample in the artifact.  The suite
+fails (non-zero exit) if a safe mode produces a violation *or* the weak
+mode escapes detection.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..chaos import ChaosEngine, FaultSchedule, standard_schedules
+from ..check import (
+    CheckLimitExceeded,
+    HistoryRecorder,
+    check_linearizable,
+    check_monotonic,
+)
+from ..workloads.synthetic import keys_in_partition
+from .harness import build_nice, build_noob
+
+__all__ = ["run_suite", "format_report", "DEFAULT_OUT", "MODES", "run_case"]
+
+DEFAULT_OUT = "BENCH_chaos.json"
+
+#: mode name -> builder spec + expectations.  ``expect_violation`` marks
+#: the deliberately weak config the checker must catch.  ``loss_fragile``
+#: marks honest configs with a *known* hazard under packet loss: NOOB-2PC
+#: never retransmits a lost commit, so one replica can stay prepared/stale
+#: while round-robin reads serve the other — a genuine partial-commit
+#: window the chaos suite documents rather than hides.  Violations in a
+#: loss-fragile mode under a loss-bearing schedule are recorded as
+#: "tolerated"; anywhere else they fail the suite.  NICE is never fragile:
+#: its multicast transport repairs losses and 2PC acks ride it (§4.3).
+MODES: Dict[str, Dict] = {
+    "nice": dict(system="nice", expect_violation=False, loss_fragile=False, overrides={}),
+    "rac-2pc": dict(
+        system="noob",
+        expect_violation=False,
+        loss_fragile=True,
+        overrides=dict(access="rac", consistency="2pc"),
+    ),
+    "rag-2pc": dict(
+        system="noob",
+        expect_violation=False,
+        loss_fragile=True,
+        overrides=dict(access="rag", consistency="2pc"),
+    ),
+    "rog-2pc": dict(
+        system="noob",
+        expect_violation=False,
+        loss_fragile=True,
+        overrides=dict(access="rog", consistency="2pc"),
+    ),
+    "rac-quorum": dict(
+        system="noob",
+        expect_violation=False,
+        loss_fragile=False,
+        overrides=dict(access="rac", consistency="quorum"),
+    ),
+    # Primary-only replication acks puts even when the replica transfers
+    # fail, and round-robin reads then serve whatever the replicas hold:
+    # the misconfiguration the checker must catch.
+    "rac-weak": dict(
+        system="noob",
+        expect_violation=True,
+        loss_fragile=False,
+        overrides=dict(access="rac", consistency="primary", get_lb="round_robin"),
+    ),
+}
+
+#: Cluster shrunk for sweep speed; semantics (R=3, one partition under
+#: attack) match the paper's fault scenario.
+CLUSTER_KW = dict(n_storage_nodes=6, n_clients=3)
+
+
+def _build(mode: str, seed: int):
+    spec = MODES[mode]
+    kwargs = dict(CLUSTER_KW, seed=seed, **spec["overrides"])
+    if spec["system"] == "nice":
+        return build_nice(**kwargs)
+    return build_noob(**kwargs)
+
+
+def _schedule_suite(key: str, names: Optional[List[str]] = None) -> List[FaultSchedule]:
+    suite = standard_schedules(key)
+    suite["random-a"] = FaultSchedule.random(101, key)
+    suite["random-b"] = FaultSchedule.random(202, key)
+    if names is None:
+        return list(suite.values())
+    unknown = [n for n in names if n not in suite]
+    if unknown:
+        raise ValueError(f"unknown schedule(s) {unknown}; have {sorted(suite)}")
+    return [suite[n] for n in names]
+
+
+def _workload(cluster, recorder: HistoryRecorder, keys: List[str], duration: float, seed: int):
+    """One paced writer + dedicated readers, values globally unique.
+
+    The split matters: a writer whose put times out stalls for seconds
+    (client retry backoff), and if every client mixed puts and gets the
+    whole workload would stall inside the fault window — exactly when
+    reads must keep probing replicas for stale data."""
+    sim = cluster.sim
+
+    def writer(client, stream: np.random.Generator):
+        seq = 0
+        while sim.now < duration:
+            yield sim.timeout(stream.exponential(0.03))
+            seq += 1
+            key = keys[seq % len(keys)]
+            yield client.put(key, f"{client.host.name}:{seq}", 1000, max_retries=1)
+
+    def reader(client, stream: np.random.Generator):
+        while sim.now < duration:
+            yield sim.timeout(stream.exponential(0.03))
+            key = keys[int(stream.integers(len(keys)))]
+            yield client.get(key, max_retries=1)
+
+    for idx, client in enumerate(cluster.clients):
+        recorder.attach(client)
+        loop = writer if idx == 0 else reader
+        sim.process(loop(client, np.random.default_rng([seed, idx])))
+
+
+def run_case(
+    mode: str,
+    schedule: FaultSchedule,
+    seed: int,
+    duration: float = 10.0,
+    n_keys: int = 3,
+    max_states: int = 2_000_000,
+) -> Dict:
+    """One cell of the matrix; returns a JSON-ready row."""
+    cluster = _build(mode, seed)
+    partition = 0
+    keys = keys_in_partition(partition, cluster.config.n_partitions, n_keys)
+    # Re-target the schedule at a key of the chosen partition: schedules
+    # are built per-key, so rebuild with the actual key.
+    schedule = rebuild_for_key(schedule, keys[0])
+
+    recorder = HistoryRecorder()
+    _workload(cluster, recorder, keys, duration, seed)
+    engine = ChaosEngine(cluster, schedule, seed=seed)
+    engine.start()
+    cluster.sim.run(until=duration)
+
+    mono = check_monotonic(recorder.ops)
+    try:
+        lin = check_linearizable(recorder.ops, max_states=max_states)
+        inconclusive = False
+        states = lin.states
+        linearizable = lin.ok
+        core = lin.violation
+        reason = lin.reason
+    except CheckLimitExceeded as exc:
+        inconclusive = True
+        states = max_states
+        linearizable = mono.ok  # best effort: screen result only
+        core = mono.violation
+        reason = f"W&G limit: {exc}"
+    if not mono.ok and linearizable:
+        # The screen only reports true violations; exact search must agree.
+        linearizable, core, reason = False, mono.violation, mono.reason
+
+    ok_ops = sum(1 for op in recorder.ops if op.ok)
+    return {
+        "mode": mode,
+        "schedule": schedule.name,
+        "has_loss": any(ev.kind == "loss" for ev in schedule),
+        "seed": seed,
+        "n_ops": len(recorder.ops),
+        "ok_ops": ok_ops,
+        "failed_ops": sum(1 for op in recorder.ops if op.completed and not op.ok),
+        "pending_ops": len(recorder.pending()),
+        "linearizable": bool(linearizable),
+        "monotonic_ok": bool(mono.ok),
+        "inconclusive": inconclusive,
+        "states": states,
+        "chaos_events": [[t, label] for t, label in engine.events],
+        "violation": [str(op) for op in core],
+        "reason": reason,
+    }
+
+
+def rebuild_for_key(schedule: FaultSchedule, key: str) -> FaultSchedule:
+    """Clone ``schedule`` with every symbolic target pointed at ``key``."""
+    from ..chaos.schedule import FaultEvent
+
+    events = []
+    for ev in schedule:
+        role, _, _ = ev.target.partition(":")
+        target = f"{role}:{key}" if role in ("primary", "secondary", "key") else ev.target
+        events.append(FaultEvent(ev.at, ev.kind, target, ev.params))
+    return FaultSchedule(schedule.name, tuple(events), schedule.description)
+
+
+def run_suite(
+    seeds: int = 5,
+    baseline_seeds: int = 2,
+    modes: Optional[List[str]] = None,
+    schedules: Optional[List[str]] = None,
+    duration: float = 10.0,
+    smoke: bool = False,
+    out_path: Optional[str] = DEFAULT_OUT,
+) -> Dict:
+    """Sweep the matrix; returns (and writes) the report dict.
+
+    NICE gets the full ``seeds`` sweep (the paper's headline claim);
+    baselines get ``baseline_seeds`` each to bound wall time.  ``smoke``
+    shrinks everything for CI.
+    """
+    if smoke:
+        seeds, baseline_seeds, duration = 2, 1, 8.0
+        modes = modes or ["nice", "rac-2pc", "rac-weak"]
+        schedules = schedules or ["crash_rejoin", "partition_rejoin", "primary_crash"]
+    modes = modes or list(MODES)
+    cases: List[Dict] = []
+    t0 = time.time()
+    for mode in modes:
+        n_seeds = seeds if mode == "nice" else baseline_seeds
+        for schedule in _schedule_suite("k0", schedules):
+            for seed in range(1, n_seeds + 1):
+                cases.append(run_case(mode, schedule, seed, duration=duration))
+
+    summary: Dict[str, Dict] = {}
+    failures: List[str] = []
+    for mode in modes:
+        rows = [c for c in cases if c["mode"] == mode]
+        violations = [c for c in rows if not c["linearizable"]]
+        tolerated = [
+            c
+            for c in violations
+            if MODES[mode]["loss_fragile"] and c["has_loss"]
+        ]
+        inconclusive = [c for c in rows if c["inconclusive"]]
+        summary[mode] = {
+            "cases": len(rows),
+            "violations": len(violations),
+            "tolerated": len(tolerated),
+            "inconclusive": len(inconclusive),
+            "expect_violation": MODES[mode]["expect_violation"],
+        }
+        if MODES[mode]["expect_violation"]:
+            if not violations:
+                failures.append(f"{mode}: weak config escaped detection")
+        else:
+            for c in violations:
+                if c in tolerated:
+                    continue
+                failures.append(
+                    f"{mode}/{c['schedule']}/seed{c['seed']}: "
+                    f"unexpected violation: {c['reason']}"
+                )
+    report = {
+        "schema_version": 1,
+        "suite": "chaos",
+        "smoke": smoke,
+        "duration_s_per_case": duration,
+        "cases": cases,
+        "summary": summary,
+        "failures": failures,
+        "passed": not failures,
+        "wall_s": round(time.time() - t0, 1),
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def format_report(report: Dict) -> str:
+    lines = ["chaos × consistency matrix (ops verified per cell):", ""]
+    header = f"{'mode':<12} {'schedule':<18} {'seed':>4} {'ops':>5} {'lin':>5} {'note'}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for c in report["cases"]:
+        note = "inconclusive" if c["inconclusive"] else (c["reason"][:50] if not c["linearizable"] else "")
+        lines.append(
+            f"{c['mode']:<12} {c['schedule']:<18} {c['seed']:>4} "
+            f"{c['n_ops']:>5} {'ok' if c['linearizable'] else 'VIOL':>5} {note}"
+        )
+    lines.append("")
+    for mode, s in report["summary"].items():
+        want = "expected" if s["expect_violation"] else "must be clean"
+        tol = f", {s['tolerated']} tolerated (loss-fragile)" if s.get("tolerated") else ""
+        lines.append(
+            f"  {mode:<12} {s['cases']} cases, {s['violations']} violations ({want}){tol}"
+        )
+    lines.append("")
+    lines.append("PASS" if report["passed"] else "FAIL:")
+    for f in report["failures"]:
+        lines.append(f"  {f}")
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""The chaos engine: plays a :class:`FaultSchedule` against a cluster.
+
+The engine is a simulator process.  It walks the schedule's events in
+time order, resolves each symbolic target against *current* membership,
+performs the fault through the same primitives operators have — host
+fail/recover, link down, switch flow-mods, control-plane latency — and
+appends a ``(sim_time_s, label)`` pair to its typed event log (the same
+shape as :class:`~repro.workloads.faultload.FaultTimelineResult.events`).
+
+Determinism: all randomness (loss, jitter) comes from per-event numpy
+streams derived from ``(engine seed, event index)``, so a run is
+bit-reproducible from ``(cluster seed, schedule, engine seed)`` — the
+determinism tests compare whole event logs and op histories across runs.
+
+Pairing rule: a fault that takes a node out (``crash``, ``isolate``,
+``partition``) *binds* its symbolic target to the concrete node it hit;
+the matching recovery event (``rejoin``, ``heal``, ``heal_partition``)
+reuses that binding.  Without this, "secondary:k" would re-resolve after
+failover promoted a different replica and the wrong node would rejoin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kv import ConsistentHashRing, key_hash
+from ..net.flowtable import Drop, Match, Rule
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["ChaosEngine"]
+
+#: Above every routing rule (vring rules are O(100), ARP 500).
+PARTITION_PRIORITY = 10_000
+
+
+class ChaosEngine:
+    """Interprets one schedule against one built cluster."""
+
+    def __init__(self, cluster, schedule: FaultSchedule, seed: int = 0):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.seed = seed
+        self.sim = cluster.sim
+        #: Typed event log: each entry is a ``(sim_time_s, label)`` pair.
+        self.events: List[Tuple[float, str]] = []
+        # target spec -> FIFO of concrete node names (a spec can have
+        # several outstanding outages, e.g. two "primary:<k>" crashes
+        # where the second hits the promoted replica).
+        self._bound: Dict[str, List[str]] = {}
+        self._event_index = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self):
+        """Spawn the schedule-player process; returns the Process."""
+        return self.sim.process(self._run())
+
+    def _run(self):
+        for event in self.schedule:
+            if event.at > self.sim.now:
+                yield self.sim.timeout(event.at - self.sim.now)
+            self._fire(event)
+
+    def _mark(self, label: str) -> None:
+        self.events.append((float(self.sim.now), label))
+
+    def _stream(self) -> np.random.Generator:
+        """A fresh deterministic rng for the event being fired."""
+        rng = np.random.default_rng([self.seed, self._event_index])
+        return rng
+
+    # -- target resolution ---------------------------------------------------------
+    def _partition_of_key(self, key: str) -> int:
+        vring = getattr(self.cluster, "uni_vring", None)
+        if vring is not None:
+            return vring.subgroup_of_key(key)
+        return ConsistentHashRing.partition_of_hash(
+            key_hash(key), len(self.cluster.partition_map)
+        )
+
+    def _resolve_node(self, spec: str, bind: str = "none") -> Optional[str]:
+        """Map a symbolic target to a node name against current membership.
+
+        ``bind="bind"`` (outage events) records the resolution;
+        ``bind="unbind"`` (recovery events) consumes the oldest recorded
+        one; ``bind="peek"`` reads it without consuming; ``bind="none"``
+        resolves fresh (self-healing bursts).
+        """
+        if bind in ("unbind", "peek") and self._bound.get(spec):
+            fifo = self._bound[spec]
+            return fifo.pop(0) if bind == "unbind" else fifo[0]
+        kind, _, arg = spec.partition(":")
+        if kind == "node":
+            name = arg
+        elif kind in ("primary", "secondary"):
+            rs = self.cluster.partition_map.get(self._partition_of_key(arg))
+            if kind == "primary":
+                name = rs.primary
+            else:
+                secondaries = [m for m in rs.members if m != rs.primary]
+                if not secondaries:
+                    return None
+                name = secondaries[0]
+        else:
+            raise ValueError(f"unknown chaos target {spec!r}")
+        if name not in self.cluster.nodes:
+            return None
+        if bind == "bind":
+            self._bound.setdefault(spec, []).append(name)
+        return name
+
+    def _access_link(self, name: str):
+        host = self.cluster.nodes[name].host
+        return self.cluster.network.link_between(self.cluster.switch, host)
+
+    # -- event dispatch ------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        self._event_index += 1
+        handler = getattr(self, f"_do_{event.kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+        handler(event)
+
+    def _do_crash(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="bind")
+        if name is None or not self.cluster.nodes[name].host.up:
+            self._mark(f"crash skipped ({event.target})")
+            return
+        self.cluster.nodes[name].crash()
+        self._mark(f"{name} crashes")
+
+    def _do_rejoin(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="unbind")
+        if name is None:
+            self._mark(f"rejoin skipped ({event.target})")
+            return
+        node = self.cluster.nodes[name]
+        self._mark(f"{name} restarts")
+        proc = node.restart()
+        if proc is not None:  # NICE: two-stage rejoin runs as a process
+            def done(_=None, name=name):
+                self._mark(f"{name} consistent")
+
+            self.sim.process(self._await(proc, done))
+
+    @staticmethod
+    def _await(proc, done):
+        yield proc
+        done()
+
+    def _do_isolate(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="bind")
+        link = self._access_link(name) if name else None
+        if link is None:
+            self._mark(f"isolate skipped ({event.target})")
+            return
+        link.set_down(True)
+        self._mark(f"{name} link down")
+
+    def _do_heal(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="unbind")
+        link = self._access_link(name) if name else None
+        if link is None:
+            self._mark(f"heal skipped ({event.target})")
+            return
+        link.set_down(False)
+        self._mark(f"{name} link up")
+
+    def _peer_ips(self, name: str) -> List:
+        """IPs of the target's storage peers plus the metadata service."""
+        ips = [
+            ip for peer, ip in sorted(self.cluster.directory.items()) if peer != name
+        ]
+        meta = self.cluster.network.devices.get("meta")
+        if meta is not None:
+            ips.append(meta.ip)
+        return ips
+
+    def _do_partition(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="bind")
+        if name is None:
+            self._mark(f"partition skipped ({event.target})")
+            return
+        ip = self.cluster.directory[name]
+        cookie = f"chaos:partition:{name}"
+        for peer_ip in self._peer_ips(name):
+            for src, dst in ((ip, peer_ip), (peer_ip, ip)):
+                self.cluster.switch.install_rule(
+                    Rule(
+                        Match(ip_src=src, ip_dst=dst),
+                        [Drop()],
+                        PARTITION_PRIORITY,
+                        cookie=cookie,
+                    )
+                )
+        self._mark(f"{name} partitioned from peers")
+
+    def _do_heal_partition(self, event: FaultEvent) -> None:
+        # Resolve without consuming the binding: the paired "rejoin" event
+        # (same target, same instant) still needs it.
+        name = self._resolve_node(event.target, bind="peek")
+        if name is None:
+            self._mark(f"heal_partition skipped ({event.target})")
+            return
+        removed = self.cluster.switch.remove_cookie(f"chaos:partition:{name}")
+        self._mark(f"{name} partition healed ({removed} rules)")
+
+    def _do_loss(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target)  # bursts self-heal; no binding
+        link = self._access_link(name) if name else None
+        if link is None:
+            self._mark(f"loss skipped ({event.target})")
+            return
+        rate = float(event.param("rate", 0.05))
+        duration = float(event.param("duration", 1.0))
+        link.set_loss(rate, self._stream())
+
+        def restore(name=name, link=link):
+            link.set_loss(0.0)
+            self._mark(f"{name} loss burst ends")
+
+        self.sim.call_in(duration, restore)
+        self._mark(f"{name} loss burst {rate:.0%} for {duration:g}s")
+
+    def _do_jitter(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target)  # bursts self-heal; no binding
+        link = self._access_link(name) if name else None
+        if link is None:
+            self._mark(f"jitter skipped ({event.target})")
+            return
+        jitter_s = float(event.param("jitter_s", 100e-6))
+        duration = float(event.param("duration", 1.0))
+        link.set_delay_jitter(jitter_s, self._stream())
+
+        def restore(name=name, link=link):
+            link.set_delay_jitter(0.0)
+            self._mark(f"{name} jitter ends")
+
+        self.sim.call_in(duration, restore)
+        self._mark(f"{name} jitter {jitter_s * 1e6:g}us for {duration:g}s")
+
+    def _do_flap(self, event: FaultEvent) -> None:
+        controller = getattr(self.cluster, "controller", None)
+        if controller is None or not hasattr(controller, "sync_partition"):
+            self._mark(f"flap skipped (no flow rules: {event.target})")
+            return
+        kind, _, key = event.target.partition(":")
+        if kind != "key":
+            raise ValueError(f"flap wants a 'key:<key>' target, got {event.target!r}")
+        partition = self._partition_of_key(key)
+        down_s = float(event.param("down_s", 0.2))
+        removed = 0
+        for switch in [self.cluster.switch] + list(
+            getattr(self.cluster, "edge_switches", [])
+        ):
+            removed += switch.remove_cookie(f"uni:{partition}")
+            removed += switch.remove_cookie(f"mc:{partition}")
+
+        def resync(partition=partition):
+            controller.sync_partition(partition)
+            self._mark(f"p{partition} rules re-synced")
+
+        self.sim.call_in(down_s, resync)
+        self._mark(f"p{partition} rules flapped ({removed} removed, {down_s:g}s)")
+
+    def _do_stall(self, event: FaultEvent) -> None:
+        control_plane = getattr(self.cluster, "control_plane", None)
+        if control_plane is None:
+            self._mark("stall skipped (no control plane)")
+            return
+        latency_s = float(event.param("latency_s", 0.05))
+        duration = float(event.param("duration", 1.0))
+        previous = control_plane.latency_s
+        control_plane.latency_s = latency_s
+
+        def restore(previous=previous):
+            control_plane.latency_s = previous
+            self._mark("controller stall ends")
+
+        self.sim.call_in(duration, restore)
+        self._mark(f"controller stalled to {latency_s * 1e3:g}ms for {duration:g}s")

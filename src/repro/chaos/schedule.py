@@ -1,0 +1,251 @@
+"""Declarative fault schedules.
+
+A schedule is data, not code: a named, time-sorted list of
+:class:`FaultEvent` records that :class:`~repro.chaos.engine.ChaosEngine`
+interprets.  Keeping schedules declarative makes them printable, hashable
+into test IDs, and — together with the deterministic simulator — makes a
+chaos run reproducible from ``(seed, schedule)`` alone.
+
+Event kinds (see the engine for exact semantics):
+
+=================  ==========================================================
+``crash``          fail-stop the target node (volatile state lost)
+``rejoin``         power the node back on; NICE runs the two-stage rejoin
+``isolate``        take the node's access link down (node alive, link dark)
+``heal``           restore the node's access link
+``partition``      install switch drop rules between the node and its
+                   storage/metadata peers — clients still reach it (the
+                   asymmetric partition that exposes stale replicas)
+``heal_partition`` remove those drop rules
+``loss``           random packet loss on the node's link for ``duration``
+``jitter``         extra random delivery delay on the link for ``duration``
+``flap``           delete the partition's vring flow rules, re-sync after
+                   ``down_s`` (NICE only)
+``stall``          raise the controller's control-plane latency for
+                   ``duration`` (NICE only)
+=================  ==========================================================
+
+Targets are symbolic and resolved by the engine *at fire time* (membership
+may have changed): ``"node:<name>"``, ``"primary:<key>"``,
+``"secondary:<key>"`` (first non-primary replica), ``"key:<key>"`` (the
+key's partition, for ``flap``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["FaultEvent", "FaultSchedule", "standard_schedules"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: *at* ``at`` seconds, do ``kind`` to ``target``."""
+
+    at: float
+    kind: str
+    target: str = ""
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param(self, name: str, default=None):
+        return dict(self.params).get(name, default)
+
+    @staticmethod
+    def make(at: float, kind: str, target: str = "", **params) -> "FaultEvent":
+        """Build an event with params given as keyword arguments."""
+        return FaultEvent(float(at), kind, target, tuple(sorted(params.items())))
+
+    def __str__(self) -> str:
+        p = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"@{self.at:g}s {self.kind}({self.target}{', ' if p else ''}{p})"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, time-ordered fault script."""
+
+    name: str
+    events: Tuple[FaultEvent, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at))
+        )
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event."""
+        return self.events[-1].at if self.events else 0.0
+
+    # -- named schedules ----------------------------------------------------------
+    @staticmethod
+    def crash_rejoin(key: str, fail_at: float = 2.0, rejoin_at: float = 6.0) -> "FaultSchedule":
+        """The Fig 11 scenario: a secondary replica crashes and rejoins."""
+        return FaultSchedule(
+            "crash_rejoin",
+            (
+                FaultEvent.make(fail_at, "crash", f"secondary:{key}"),
+                FaultEvent.make(rejoin_at, "rejoin", f"secondary:{key}"),
+            ),
+            "secondary replica fail-stop crash, later restart + rejoin",
+        )
+
+    @staticmethod
+    def primary_crash(key: str, fail_at: float = 2.0, rejoin_at: float = 6.0) -> "FaultSchedule":
+        """Crash the key's *primary* mid-traffic: exercises failover
+        reconciliation (committed-anywhere ⇒ commit-everywhere, §4.4)."""
+        return FaultSchedule(
+            "primary_crash",
+            (
+                FaultEvent.make(fail_at, "crash", f"primary:{key}"),
+                FaultEvent.make(rejoin_at, "rejoin", f"primary:{key}"),
+            ),
+            "primary crash during 2PC traffic, later restart + rejoin",
+        )
+
+    @staticmethod
+    def partition_rejoin(key: str, start: float = 2.0, heal_at: float = 5.0) -> "FaultSchedule":
+        """Asymmetric partition of a secondary from its peers, then heal.
+
+        The node stays reachable from clients the whole time — exactly the
+        window where a system without NICE's consistent-rejoin discipline
+        serves stale data.  After healing, the node is explicitly rejoined
+        (an isolated node is declared failed and must rejoin, §4.5)."""
+        return FaultSchedule(
+            "partition_rejoin",
+            (
+                FaultEvent.make(start, "partition", f"secondary:{key}"),
+                FaultEvent.make(heal_at, "heal_partition", f"secondary:{key}"),
+                FaultEvent.make(heal_at, "rejoin", f"secondary:{key}"),
+            ),
+            "secondary partitioned from peers (clients still reach it), heal + rejoin",
+        )
+
+    @staticmethod
+    def isolate_rejoin(key: str, start: float = 2.0, heal_at: float = 5.0) -> "FaultSchedule":
+        """Full access-link blackout of a secondary, then heal + rejoin."""
+        return FaultSchedule(
+            "isolate_rejoin",
+            (
+                FaultEvent.make(start, "isolate", f"secondary:{key}"),
+                FaultEvent.make(heal_at, "heal", f"secondary:{key}"),
+                FaultEvent.make(heal_at, "rejoin", f"secondary:{key}"),
+            ),
+            "secondary's access link fully dark, heal + rejoin",
+        )
+
+    @staticmethod
+    def lossy_network(key: str, start: float = 1.0, rate: float = 0.05, duration: float = 4.0) -> "FaultSchedule":
+        """A loss + jitter burst on every replica link of the key."""
+        return FaultSchedule(
+            "lossy_network",
+            (
+                FaultEvent.make(start, "loss", f"primary:{key}", rate=rate, duration=duration),
+                FaultEvent.make(start, "loss", f"secondary:{key}", rate=rate, duration=duration),
+                FaultEvent.make(start, "jitter", f"secondary:{key}", jitter_s=200e-6, duration=duration),
+            ),
+            f"{rate:.0%} loss burst + delay jitter on the key's replica links",
+        )
+
+    @staticmethod
+    def rule_flap(key: str, at: float = 2.0, down_s: float = 0.2, times: int = 2, gap: float = 1.5) -> "FaultSchedule":
+        """Repeatedly delete and re-sync the key partition's flow rules."""
+        events = tuple(
+            FaultEvent.make(at + i * gap, "flap", f"key:{key}", down_s=down_s)
+            for i in range(times)
+        )
+        return FaultSchedule(
+            "rule_flap", events, "vring flow rules deleted and re-synced (NICE only)"
+        )
+
+    @staticmethod
+    def controller_stall(at: float = 1.5, latency_s: float = 0.05, duration: float = 3.0) -> "FaultSchedule":
+        """Slow the control plane 100×: packet-ins and flow-mods crawl."""
+        return FaultSchedule(
+            "controller_stall",
+            (FaultEvent.make(at, "stall", latency_s=latency_s, duration=duration),),
+            "control-plane latency raised for a window (NICE only)",
+        )
+
+    @staticmethod
+    def random(seed: int, key: str, horizon: float = 8.0, n_episodes: int = 3, nice_only_events: bool = False) -> "FaultSchedule":
+        """A seeded random schedule of fault episodes.
+
+        Episodes never overlap (each heals before the next begins) so
+        recovery paths — not pile-ups — are what gets exercised.  The same
+        ``seed`` always produces the same schedule.
+        """
+        rng = np.random.default_rng(seed)
+        kinds = ["crash", "partition", "isolate", "loss", "jitter"]
+        if nice_only_events:
+            kinds += ["flap", "stall"]
+        events: List[FaultEvent] = []
+        t = 0.5 + float(rng.uniform(0.0, 1.0))
+        for _ in range(n_episodes):
+            if t >= horizon - 1.0:
+                break
+            kind = kinds[int(rng.integers(len(kinds)))]
+            role = "primary" if rng.random() < 0.3 else "secondary"
+            target = f"{role}:{key}"
+            dur = float(rng.uniform(0.8, 2.0))
+            if kind == "crash":
+                events += [
+                    FaultEvent.make(t, "crash", target),
+                    FaultEvent.make(t + dur, "rejoin", target),
+                ]
+            elif kind == "partition":
+                events += [
+                    FaultEvent.make(t, "partition", target),
+                    FaultEvent.make(t + dur, "heal_partition", target),
+                    FaultEvent.make(t + dur, "rejoin", target),
+                ]
+            elif kind == "isolate":
+                events += [
+                    FaultEvent.make(t, "isolate", target),
+                    FaultEvent.make(t + dur, "heal", target),
+                    FaultEvent.make(t + dur, "rejoin", target),
+                ]
+            elif kind == "loss":
+                events.append(
+                    FaultEvent.make(
+                        t, "loss", target, rate=float(rng.uniform(0.02, 0.15)), duration=dur
+                    )
+                )
+            elif kind == "jitter":
+                events.append(
+                    FaultEvent.make(
+                        t, "jitter", target, jitter_s=float(rng.uniform(1e-4, 5e-4)), duration=dur
+                    )
+                )
+            elif kind == "flap":
+                events.append(FaultEvent.make(t, "flap", f"key:{key}", down_s=0.2))
+            else:  # stall
+                events.append(
+                    FaultEvent.make(t, "stall", latency_s=0.02, duration=dur)
+                )
+            t += dur + 0.5 + float(rng.uniform(0.0, 1.0))
+        return FaultSchedule(
+            f"random[{seed}]", tuple(events), f"seeded random episodes (seed={seed})"
+        )
+
+
+def standard_schedules(key: str) -> Dict[str, FaultSchedule]:
+    """The named schedule suite the chaos bench sweeps, keyed by name."""
+    schedules = [
+        FaultSchedule.crash_rejoin(key),
+        FaultSchedule.primary_crash(key),
+        FaultSchedule.partition_rejoin(key),
+        FaultSchedule.isolate_rejoin(key),
+        FaultSchedule.lossy_network(key),
+    ]
+    return {s.name: s for s in schedules}

@@ -1,0 +1,31 @@
+"""Consistency checking: op-history recording and history checkers.
+
+The chaos test suite validates NICE's headline correctness claim — clients
+stay connected only to *consistent* replicas through failures and the
+two-stage rejoin (§3.3, §4.5) — the way Jepsen-style harnesses do: record
+every client operation with simulated-time invoke/return stamps, then
+decide from the history alone whether the guarantee held.
+
+* :class:`HistoryRecorder` / :class:`Operation` — the recording side,
+  hooked into the NICE and NOOB client libraries.
+* :func:`check_linearizable` — a Wing–Gong linearizability checker for the
+  per-key KV register model (exact, exponential worst case, memoized).
+* :func:`check_monotonic` — a cheap O(n log n) real-time staleness /
+  monotonic-reads checker (necessary-condition screen for big histories).
+
+Both checkers return a :class:`CheckResult` whose ``violation`` is a
+minimal violating subhistory for debugging.
+"""
+
+from .history import HistoryRecorder, Operation
+from .linearizability import CheckLimitExceeded, CheckResult, check_linearizable
+from .monotonic import check_monotonic
+
+__all__ = [
+    "CheckLimitExceeded",
+    "CheckResult",
+    "HistoryRecorder",
+    "Operation",
+    "check_linearizable",
+    "check_monotonic",
+]

@@ -1,0 +1,273 @@
+"""Wing–Gong linearizability checker for the per-key KV register model.
+
+The storage systems under test expose independent single-value registers
+(one per key), so a history is linearizable iff each key's subhistory is —
+the checker partitions by key and runs an exact memoized Wing&Gong [1986]
+search per register:
+
+* state = (set of linearized ops, value of the register);
+* an op may be linearized next iff no *other* unlinearized op returned
+  before it was invoked (real-time order is preserved);
+* a read may be linearized only if it returns the current register value;
+* acked puts and completed gets are *required*; puts that failed, timed
+  out, or were still pending at cut-off are *ambiguous* — they may take
+  effect at any point after invocation or never (they get an infinite
+  linearization window and need not be linearized at all).  Gets that
+  timed out carry no information and are dropped.  Gets that returned
+  ``status="miss"`` are reads of the initial value ``None``.
+
+On violation the checker shrinks the offending key's subhistory to a
+minimal violating core (greedy delta-debugging over a failing prefix) so
+the counterexample is human-readable — typically the 3-op stale-read
+pattern ``put(old) · put(new) · get->old``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .history import Operation
+
+__all__ = ["CheckLimitExceeded", "CheckResult", "check_linearizable"]
+
+#: Register value before any put is linearized.
+INITIAL = None
+
+
+class CheckLimitExceeded(RuntimeError):
+    """The search visited more states than ``max_states`` allows."""
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a history check."""
+
+    ok: bool
+    n_ops: int
+    checked_keys: Tuple[str, ...] = ()
+    key: Optional[str] = None  #: first violating key (None when ok)
+    violation: List[Operation] = field(default_factory=list)  #: minimal core
+    reason: str = ""
+    states: int = 0  #: search states visited (cost diagnostics)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (empty string when ok)."""
+        if self.ok:
+            return ""
+        lines = [f"non-linearizable history on key {self.key!r}: {self.reason}"]
+        lines += [f"  {op}" for op in self.violation]
+        return "\n".join(lines)
+
+
+@dataclass
+class _Entry:
+    """One op of a per-key subhistory, normalised for the search."""
+
+    op: Operation
+    is_write: bool
+    value: object
+    inv: float
+    ret: float  # math.inf for ambiguous/pending ops
+    required: bool
+
+
+def _entries_for_key(ops: Sequence[Operation]) -> List[_Entry]:
+    entries: List[_Entry] = []
+    for op in ops:
+        if op.kind == "put":
+            if op.acked:
+                entries.append(_Entry(op, True, op.value, op.invoke_ts, op.return_ts, True))
+            else:
+                # Failed / timed-out / pending put: may have taken effect on
+                # some replica anyway, at any time after invocation.
+                entries.append(_Entry(op, True, op.value, op.invoke_ts, math.inf, False))
+        elif op.kind == "get":
+            if op.acked:
+                entries.append(_Entry(op, False, op.value, op.invoke_ts, op.return_ts, True))
+            elif op.completed and op.status == "miss":
+                # A definite "no such key" answer: a read of INITIAL.
+                entries.append(_Entry(op, False, INITIAL, op.invoke_ts, op.return_ts, True))
+            # else: timed-out/pending get — no information, drop.
+    return entries
+
+
+def _search_key(entries: List[_Entry], max_states: int) -> Tuple[bool, int]:
+    """Exact W&G search over one register's entries.
+
+    Returns ``(linearizable, states_visited)``; raises
+    :class:`CheckLimitExceeded` past ``max_states``.
+    """
+    n = len(entries)
+    if n == 0:
+        return True, 0
+    inv = [e.inv for e in entries]
+    ret = [e.ret for e in entries]
+    required_mask = 0
+    for i, e in enumerate(entries):
+        if e.required:
+            required_mask |= 1 << i
+    all_mask = (1 << n) - 1
+
+    # State: (mask of linearized entries, index of last linearized write;
+    # -1 = INITIAL).  DFS with memoization on visited states.
+    seen = set()
+    states = 0
+    stack: List[Tuple[int, int]] = [(0, -1)]
+    while stack:
+        mask, cur = stack.pop()
+        if (mask, cur) in seen:
+            continue
+        seen.add((mask, cur))
+        states += 1
+        if states > max_states:
+            raise CheckLimitExceeded(
+                f"linearizability search exceeded {max_states} states "
+                f"({n} ops on one key)"
+            )
+        if mask & required_mask == required_mask:
+            return True, states
+
+        # Real-time rule: entry i is eligible iff no *unlinearized* j has
+        # ret[j] < inv[i].  min over unlinearized rets decides for all i
+        # (using the second-smallest when i itself holds the minimum).
+        remaining = all_mask & ~mask
+        min1 = min2 = math.inf
+        argmin1 = -1
+        m = remaining
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            r = ret[i]
+            if r < min1:
+                min2 = min1
+                min1, argmin1 = r, i
+            elif r < min2:
+                min2 = r
+        cur_value = INITIAL if cur < 0 else entries[cur].value
+
+        m = remaining
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            bound = min2 if i == argmin1 else min1
+            if bound < inv[i]:
+                continue  # some other pending op returned before i invoked
+            e = entries[i]
+            if e.is_write:
+                stack.append((mask | (1 << i), i))
+            elif e.value == cur_value:
+                stack.append((mask | (1 << i), cur))
+    return False, states
+
+
+def _is_linearizable(entries: List[_Entry], max_states: int) -> bool:
+    ok, _ = _search_key(entries, max_states)
+    return ok
+
+
+def _minimize(entries: List[_Entry], max_states: int) -> List[_Entry]:
+    """Shrink a non-linearizable per-key subhistory to a minimal core.
+
+    Two passes: (1) cut to the shortest failing prefix by invocation time
+    (keeping every write whose value some kept read returned, so reads
+    never dangle); (2) greedy delta-debugging — drop each op if the
+    remainder still fails.  Writes that a kept read observed are never
+    dropped, which keeps the counterexample semantically meaningful.
+    """
+
+    def read_values(subset: List[_Entry]) -> set:
+        return {e.value for e in subset if not e.is_write and e.value is not INITIAL}
+
+    def closed(subset: List[_Entry]) -> List[_Entry]:
+        # Keep writes whose value is observed by a kept read.
+        needed = read_values(subset)
+        extra = [
+            e
+            for e in entries
+            if e.is_write and e.value in needed and e not in subset
+        ]
+        if not extra:
+            return subset
+        merged = subset + extra
+        merged.sort(key=lambda e: e.inv)
+        return merged
+
+    def fails(subset: List[_Entry]) -> bool:
+        try:
+            return not _is_linearizable(subset, max_states)
+        except CheckLimitExceeded:
+            return False  # inconclusive: treat as "cannot shrink this way"
+
+    ordered = sorted(entries, key=lambda e: e.inv)
+    core = ordered
+    # Pass 1: shortest failing invocation-prefix (doubling then refine).
+    for cut in range(1, len(ordered) + 1):
+        prefix = closed(ordered[:cut])
+        if fails(prefix):
+            core = prefix
+            break
+
+    # Pass 2: greedy removal, latest ops first.
+    changed = True
+    while changed:
+        changed = False
+        for e in sorted(core, key=lambda x: -x.inv):
+            trial = [x for x in core if x is not e]
+            if e.is_write and e.value in read_values(trial):
+                continue  # a kept read observed this write
+            if fails(trial):
+                core = trial
+                changed = True
+    return sorted(core, key=lambda e: e.inv)
+
+
+def check_linearizable(
+    ops: Sequence[Operation],
+    max_states: int = 2_000_000,
+    minimize: bool = True,
+) -> CheckResult:
+    """Check a recorded history against the per-key register model.
+
+    Keys are checked independently (cheapest first, so a violation on a
+    quiet key surfaces before an expensive search on a busy one).  On the
+    first violating key the returned :class:`CheckResult` carries a
+    minimal violating subhistory in ``violation``.
+    """
+    by_key: Dict[str, List[Operation]] = {}
+    for op in ops:
+        if op.kind in ("put", "get"):
+            by_key.setdefault(op.key, []).append(op)
+
+    total_states = 0
+    for key in sorted(by_key, key=lambda k: len(by_key[k])):
+        entries = _entries_for_key(by_key[key])
+        ok, states = _search_key(entries, max_states)
+        total_states += states
+        if ok:
+            continue
+        core = _minimize(entries, max_states) if minimize else entries
+        return CheckResult(
+            ok=False,
+            n_ops=len(ops),
+            checked_keys=tuple(sorted(by_key)),
+            key=key,
+            violation=[e.op for e in core],
+            reason=(
+                f"no valid linearization of {len(entries)} ops "
+                f"(minimal core: {len(core)} ops)"
+            ),
+            states=total_states,
+        )
+    return CheckResult(
+        ok=True,
+        n_ops=len(ops),
+        checked_keys=tuple(sorted(by_key)),
+        states=total_states,
+    )

@@ -70,11 +70,19 @@ class NiceClient:
         self.get_latency = Tally(f"{host.name}.get")
         self.failures = Counter(f"{host.name}.failures")
         self.retries = Counter(f"{host.name}.retries")
+        #: Optional :class:`~repro.check.HistoryRecorder`; when set, every
+        #: op is captured with invoke/return stamps for consistency checks.
+        self.recorder = None
         sim.process(self._reply_loop())
 
     @property
     def ip(self) -> IPv4Address:
         return self.host.ip
+
+    def _traced(self, kind: str, key: str, value, gen):
+        if self.recorder is not None:
+            gen = self.recorder.record(self.host.name, kind, key, value, self.sim, gen)
+        return self.sim.process(gen)
 
     def _reply_loop(self):
         while True:
@@ -92,16 +100,16 @@ class NiceClient:
     # -- public API -----------------------------------------------------------
     def put(self, key: str, value, size: int, max_retries: int = 3):
         """Store ``value`` under ``key``; returns a Process → :class:`OpResult`."""
-        return self.sim.process(self._put(key, value, size, max_retries))
+        return self._traced("put", key, value, self._put(key, value, size, max_retries))
 
     def get(self, key: str, max_retries: int = 3):
         """Fetch ``key``; returns a Process → :class:`OpResult`."""
-        return self.sim.process(self._get(key, max_retries))
+        return self._traced("get", key, None, self._get(key, max_retries))
 
     def put_anyk(self, key: str, value, size: int, quorum: int):
         """Quorum-mode put (§5): the reliable any-k multicast returns when
         ``quorum`` replicas hold the data; no 2PC round (Fig 8's NICE side)."""
-        return self.sim.process(self._put_anyk(key, value, size, quorum))
+        return self._traced("put", key, value, self._put_anyk(key, value, size, quorum))
 
     # -- implementations ----------------------------------------------------------
     def _put(self, key: str, value, size: int, max_retries: int):

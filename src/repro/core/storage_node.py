@@ -476,20 +476,36 @@ class NiceStorageNode:
             obj = self.store.get_handoff(key)
             if obj is None:
                 # §4.4: handoff forwards gets for objects it never received.
-                rs = self.replica_sets.get(partition)
-                primary_ip = self._peer_ip(rs.primary) if rs else None
-                if primary_ip is not None:
-                    self.gets_forwarded.add()
-                    yield self.stack.tcp.send_message(
-                        primary_ip,
-                        NODE_PORT,
-                        {"type": "get_forward", "request": body},
-                        REQUEST_BYTES,
-                    )
+                yield from self._forward_get(partition, body)
                 return
+        elif my_role is None:
+            # A stale switch rule routed this get here (e.g. to a node
+            # just released from handoff duty, before the controller's
+            # flow-mods re-sync).  This node is not a consistent replica
+            # for the partition and must not answer from its store —
+            # §4.3's invariant is that clients only ever reach consistent
+            # replicas.  Forward to the primary if the slice is known,
+            # else stay silent and let the client's retry find the
+            # updated rules.
+            yield from self._forward_get(partition, body)
+            return
         else:
             obj = self.store.get(key)
         yield from self._reply_get(body, obj)
+
+    def _forward_get(self, partition: int, body: dict):
+        """Relay a get we must not answer to the partition's primary."""
+        rs = self.replica_sets.get(partition)
+        primary_ip = self._peer_ip(rs.primary) if rs else None
+        if primary_ip is None:
+            return
+        self.gets_forwarded.add()
+        yield self.stack.tcp.send_message(
+            primary_ip,
+            NODE_PORT,
+            {"type": "get_forward", "request": body},
+            REQUEST_BYTES,
+        )
 
     def _reply_get(self, body: dict, obj: Optional[StoredObject]):
         self.gets_served.add()

@@ -85,15 +85,46 @@ class Channel:
         self.dropped_packets = Counter(f"{self.name}.dropped")
         self.loss_rate = 0.0
         self._loss_rng: Optional[np.random.Generator] = None
+        self.delay_jitter_s = 0.0
+        self._jitter_rng: Optional[np.random.Generator] = None
+        self.down = False
         self._busy = Resource(sim, capacity=1, name=f"{self.name}.wire")
 
-    def set_loss(self, rate: float, rng: np.random.Generator) -> None:
+    def set_loss(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
         """Enable random packet loss (whole control packets; bulk bursts
-        lose chunks at the transport layer instead)."""
+        lose chunks at the transport layer instead).
+
+        ``rate`` must be in ``[0, 1)`` — total loss is modeled by taking
+        the channel :meth:`set_down`, not by a loss rate of 1.0.  A rate of
+        0.0 disables loss injection again (the rng may then be omitted).
+        """
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1): {rate}")
+        if rate > 0.0 and rng is None:
+            raise ValueError("a loss rate > 0 needs an rng")
         self.loss_rate = rate
-        self._loss_rng = rng
+        self._loss_rng = rng if rate > 0.0 else None
+
+    def set_delay_jitter(self, jitter_s: float, rng: Optional[np.random.Generator] = None) -> None:
+        """Add a random extra delay in ``[0, jitter_s)`` to every delivery.
+
+        This is the chaos-injection hook for delay bursts: latency stays
+        configured as built, the jitter rides on top and can be turned off
+        again with ``jitter_s=0.0`` (no monkey-patching of ``latency_s``).
+        """
+        if jitter_s < 0:
+            raise ValueError(f"delay jitter must be non-negative: {jitter_s}")
+        if jitter_s > 0.0 and rng is None:
+            raise ValueError("a delay jitter > 0 needs an rng")
+        self.delay_jitter_s = jitter_s
+        self._jitter_rng = rng if jitter_s > 0.0 else None
+
+    def set_down(self, down: bool = True) -> None:
+        """Cut (or restore) the channel: packets transmit but never arrive.
+
+        Unlike :meth:`~repro.net.host.Host.fail` the attached devices stay
+        alive — this models a network partition, not a crash."""
+        self.down = down
 
     def serialization_delay(self, packet: Packet) -> float:
         return packet.size_bytes * 8.0 / self.bandwidth_bps
@@ -109,11 +140,17 @@ class Channel:
             yield self.sim.timeout(self.serialization_delay(packet))
             self.tx_bytes.add(packet.size_bytes)
             self.tx_packets.add()
+            if self.down:
+                self.dropped_packets.add()
+                return
             if self.loss_rate and self._loss_rng is not None:
                 if self._loss_rng.random() < self.loss_rate:
                     self.dropped_packets.add()
                     return
-            self.sim.call_in(self.latency_s, self._deliver, packet)
+            delay = self.latency_s
+            if self.delay_jitter_s and self._jitter_rng is not None:
+                delay += self._jitter_rng.random() * self.delay_jitter_s
+            self.sim.call_in(delay, self._deliver, packet)
         finally:
             req.release()
 
@@ -169,6 +206,25 @@ class Link:
             raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
         self.ab.bandwidth_bps = bandwidth_bps
         self.ba.bandwidth_bps = bandwidth_bps
+
+    def set_loss(self, rate: float, rng=None) -> None:
+        """Enable/disable random loss on both directions (chaos bursts)."""
+        self.ab.set_loss(rate, rng)
+        self.ba.set_loss(rate, rng)
+
+    def set_delay_jitter(self, jitter_s: float, rng=None) -> None:
+        """Enable/disable extra random delay on both directions."""
+        self.ab.set_delay_jitter(jitter_s, rng)
+        self.ba.set_delay_jitter(jitter_s, rng)
+
+    def set_down(self, down: bool = True) -> None:
+        """Cut (or restore) both directions — the partition primitive."""
+        self.ab.set_down(down)
+        self.ba.set_down(down)
+
+    @property
+    def down(self) -> bool:
+        return self.ab.down and self.ba.down
 
     @property
     def total_bytes(self) -> int:

@@ -58,11 +58,19 @@ class NoobClient:
         self.get_latency = Tally(f"{host.name}.get")
         self.failures = Counter(f"{host.name}.failures")
         self.retries = Counter(f"{host.name}.retries")
+        #: Optional :class:`~repro.check.HistoryRecorder` (same hook as
+        #: :class:`~repro.core.client.NiceClient`).
+        self.recorder = None
         sim.process(self._reply_loop())
 
     @property
     def ip(self) -> IPv4Address:
         return self.host.ip
+
+    def _traced(self, kind: str, key: str, value, gen):
+        if self.recorder is not None:
+            gen = self.recorder.record(self.host.name, kind, key, value, self.sim, gen)
+        return self.sim.process(gen)
 
     def _reply_loop(self):
         while True:
@@ -86,12 +94,14 @@ class NoobClient:
             gw = self.gateway_ips[self._rr % len(self.gateway_ips)]
             self._rr += 1
             return gw, GW_PORT
+        # get_lb defaults to the safe choice per consistency mode
+        # (__post_init__); an explicit "round_robin" on a weaker mode is an
+        # intentional misconfiguration (the chaos suite's violation oracle).
         replicas = self._replicas_of(key)
         if (
             is_get
             and self.config.get_lb == "round_robin"
             and len(replicas) > 1
-            and self.config.consistency in ("2pc", "chain")
         ):
             pick = replicas[int(self.rng.integers(len(replicas)))]
             return self.directory[pick], NODE_PORT
@@ -99,10 +109,10 @@ class NoobClient:
 
     # -- operations ---------------------------------------------------------------
     def put(self, key: str, value, size: int, max_retries: int = 3):
-        return self.sim.process(self._op("put", key, value, size, max_retries))
+        return self._traced("put", key, value, self._op("put", key, value, size, max_retries))
 
     def get(self, key: str, max_retries: int = 3):
-        return self.sim.process(self._op("get", key, None, REQUEST_BYTES, max_retries))
+        return self._traced("get", key, None, self._op("get", key, None, REQUEST_BYTES, max_retries))
 
     def _op(self, kind: str, key: str, value, size: int, max_retries: int):
         t0 = self.sim.now

@@ -71,6 +71,21 @@ class NoobStorageNode:
     def ip(self) -> IPv4Address:
         return self.host.ip
 
+    # -- failure injection -------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: NIC dark, volatile 2PC state lost; the object store
+        and WAL survive (they model the disk, as in the NICE node)."""
+        self.host.fail()
+        self.locks.clear()
+        if hasattr(self, "_pending_value"):
+            self._pending_value.clear()
+
+    def restart(self) -> None:
+        """Power back on.  NOOB has no staged rejoin (§2.1): the node
+        serves again immediately with whatever (possibly stale) data it
+        holds — the gap the chaos consistency checker exists to expose."""
+        self.host.recover()
+
     # -- helpers -----------------------------------------------------------------
     def partition_of(self, key: str) -> int:
         return ConsistentHashRing.partition_of_hash(key_hash(key), len(self.partition_map))
@@ -380,6 +395,7 @@ class NoobStorageNode:
         can_serve = (
             self.name in replicas
             if self.config.consistency in ("2pc", "chain", "quorum")
+            or self.config.get_lb == "round_robin"
             else self.name == replicas[0]
         )
         if not can_serve:

@@ -8,7 +8,7 @@ figure plots — plus the membership-event timestamps.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -24,10 +24,12 @@ class FaultTimelineResult:
         self.put_rate = RateSeries(1.0, "puts/s")
         self.get_rate = RateSeries(1.0, "gets/s")
         self.failed_puts = RateSeries(1.0, "failed puts/s")
-        self.events: List = []  # (time, label)
+        #: Membership-event marks, ordered by simulated time: each entry is
+        #: a ``(sim_time_s, label)`` pair such as ``(30.0, "n3 fails")``.
+        self.events: List[Tuple[float, str]] = []
 
     def mark(self, when: float, label: str) -> None:
-        self.events.append((when, label))
+        self.events.append((float(when), label))
 
 
 def run_fault_timeline(
@@ -45,6 +47,11 @@ def run_fault_timeline(
 
     ``keys`` must all hash to one partition (use
     :func:`repro.workloads.synthetic.keys_in_partition`).
+
+    The returned :class:`FaultTimelineResult` carries the three rate series
+    and ``events``, the typed ``List[Tuple[float, str]]`` of membership
+    marks (failure, rejoin, consistency-restored) in timeline order —
+    the vertical annotation lines of Fig 11.
     """
     sim = cluster.sim
     result = FaultTimelineResult()

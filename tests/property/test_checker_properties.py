@@ -1,0 +1,152 @@
+"""Property tests for the history checkers (Hypothesis).
+
+Two families:
+
+* histories generated *linearizable by construction* — each op is given an
+  explicit linearization point inside its window and reads return the
+  register value at that point — must always be accepted;
+* histories with an injected stale-read-after-acked-overwrite must always
+  be rejected, the screen's verdict must agree with the exact checker, and
+  the minimal core must itself be a violating subhistory.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check import Operation, check_linearizable, check_monotonic
+
+
+def _op(i, client, kind, key, inv, ret, value=None, ok=True, status="ok"):
+    return Operation(
+        op_index=i,
+        client=client,
+        kind=kind,
+        key=key,
+        invoke_ts=inv,
+        return_ts=ret,
+        value=value,
+        ok=ok,
+        status=status,
+    )
+
+
+@st.composite
+def linearizable_history(draw, max_ops=24, n_clients=3, keys=("a", "b")):
+    """A history with explicit in-window linearization points per op.
+
+    Per-client sequential (invoke after the client's previous return),
+    reads return the register value at their linearization point — so a
+    valid linearization exists by construction.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    client_clock = {c: 0.0 for c in range(n_clients)}
+    ops = []  # (linearization_point, op_record_stub)
+    seq = 0
+    for i in range(n):
+        client = draw(st.integers(min_value=0, max_value=n_clients - 1))
+        key = draw(st.sampled_from(keys))
+        is_put = draw(st.booleans())
+        gap = draw(st.floats(min_value=0.0, max_value=1.0))
+        dur = draw(st.floats(min_value=0.01, max_value=1.5))
+        inv = client_clock[client] + gap
+        ret = inv + dur
+        frac = draw(st.floats(min_value=0.0, max_value=1.0))
+        lin = inv + frac * dur
+        client_clock[client] = ret + 1e-3
+        if is_put:
+            seq += 1
+            value = f"c{client}:{seq}"
+        else:
+            value = None  # filled from register state below
+        ops.append([lin, i, client, key, inv, ret, is_put, value])
+
+    # Replay in linearization order to resolve read values.
+    register = {}
+    history = []
+    for lin, i, client, key, inv, ret, is_put, value in sorted(ops):
+        if is_put:
+            register[key] = value
+        else:
+            value = register.get(key)
+        history.append(
+            _op(
+                i,
+                f"c{client}",
+                "put" if is_put else "get",
+                key,
+                inv,
+                ret,
+                value=value,
+                ok=True if is_put or value is not None else False,
+                status="ok" if is_put or value is not None else "miss",
+            )
+        )
+    history.sort(key=lambda op: op.invoke_ts)
+    return history
+
+
+@settings(max_examples=40, deadline=None)
+@given(linearizable_history())
+def test_accepts_truly_linearizable_histories(history):
+    result = check_linearizable(history)
+    assert result.ok, result.describe()
+    assert check_monotonic(history).ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(linearizable_history(), st.sampled_from(["a", "b"]))
+def test_rejects_stale_read_after_acked_overwrite(history, key):
+    """Appending put(old); put(new); get->old must always be caught."""
+    t = max((op.return_ts for op in history), default=0.0) + 1.0
+    n = len(history)
+    poison = [
+        _op(n, "w", "put", key, t, t + 1, value="stale-old"),
+        _op(n + 1, "w", "put", key, t + 2, t + 3, value="stale-new"),
+        _op(n + 2, "r", "get", key, t + 4, t + 5, value="stale-old"),
+    ]
+    bad = history + poison
+
+    lin = check_linearizable(bad)
+    assert not lin.ok
+    assert lin.key == key
+    # The minimal core is itself a violating subhistory, no bigger than
+    # the key's slice, and still fails when re-checked in isolation.
+    assert 0 < len(lin.violation) <= sum(1 for op in bad if op.key == key)
+    assert not check_linearizable(lin.violation).ok
+
+    # The cheap screen agrees (it only ever reports true violations).
+    mono = check_monotonic(bad)
+    assert not mono.ok
+    assert mono.key == key
+
+
+@settings(max_examples=40, deadline=None)
+@given(linearizable_history())
+def test_ambiguous_ops_never_cause_false_positives(history):
+    """Marking any suffix of puts as timed-out keeps the history accepted
+    (an ambiguous put may simply have taken effect)."""
+    mutated = []
+    for op in history:
+        if op.kind == "put" and op.invoke_ts > 1.0:
+            op = Operation(
+                op_index=op.op_index,
+                client=op.client,
+                kind=op.kind,
+                key=op.key,
+                invoke_ts=op.invoke_ts,
+                return_ts=op.return_ts,
+                value=op.value,
+                ok=False,
+                status="timeout",
+            )
+        mutated.append(op)
+    assert check_linearizable(mutated).ok
+
+
+@settings(max_examples=25, deadline=None)
+@given(linearizable_history(max_ops=16))
+def test_screen_never_disagrees_with_exact_checker(history):
+    """check_monotonic reports only true violations: if it fires on a
+    (possibly mutated) history, Wing–Gong must reject that history too."""
+    mono = check_monotonic(history)
+    if not mono.ok:
+        assert not check_linearizable(history).ok

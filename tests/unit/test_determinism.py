@@ -64,3 +64,71 @@ def test_same_seed_same_results_with_cache(monkeypatch):
     b = _fig5_leg(n_ops=4, sizes=(1 << 10,))
     assert a[0] == b[0]
     assert a[1] == b[1]
+
+
+# -- chaos-engine determinism (the reproducibility contract of repro.chaos) ---------
+
+
+def _chaos_run(seed, schedule_seed):
+    """One chaos case: NICE cluster + random schedule + recorded history.
+
+    Returns (chaos event log, canonical op-history tuples, final sim time).
+    """
+    from repro.bench.chaos import rebuild_for_key, run_case  # noqa: F401
+    from repro.bench.harness import build_nice
+    from repro.chaos import ChaosEngine, FaultSchedule
+    from repro.check import HistoryRecorder
+    from repro.workloads.synthetic import keys_in_partition
+
+    import numpy as np
+
+    cluster = build_nice(n_storage_nodes=6, n_clients=2, seed=seed)
+    keys = keys_in_partition(0, cluster.config.n_partitions, 2)
+    schedule = FaultSchedule.random(schedule_seed, keys[0], horizon=4.0, n_episodes=2)
+    recorder = HistoryRecorder()
+    sim = cluster.sim
+
+    def loop(client, stream):
+        seq = 0
+        while sim.now < 5.0:
+            yield sim.timeout(stream.exponential(0.05))
+            seq += 1
+            if stream.random() < 0.5:
+                yield client.put(keys[seq % 2], f"{client.host.name}:{seq}", 500, max_retries=1)
+            else:
+                yield client.get(keys[seq % 2], max_retries=1)
+
+    for idx, client in enumerate(cluster.clients):
+        recorder.attach(client)
+        sim.process(loop(client, np.random.default_rng([seed, idx])))
+    engine = ChaosEngine(cluster, schedule, seed=seed)
+    engine.start()
+    sim.run(until=5.0)
+    return engine.events, recorder.as_tuples(), sim.now
+
+
+def test_chaos_same_seed_bit_identical():
+    """Same (seed, schedule) => identical event log AND identical history."""
+    events_a, history_a, now_a = _chaos_run(seed=3, schedule_seed=11)
+    events_b, history_b, now_b = _chaos_run(seed=3, schedule_seed=11)
+    assert events_a == events_b
+    assert history_a == history_b
+    assert now_a == now_b
+    assert events_a, "schedule should have fired at least one fault"
+    assert len(history_a) > 10
+
+
+def test_chaos_different_schedule_seed_diverges():
+    """A different schedule seed must actually change the fault sequence."""
+    events_a, _, _ = _chaos_run(seed=3, schedule_seed=11)
+    events_b, _, _ = _chaos_run(seed=3, schedule_seed=12)
+    assert events_a != events_b
+
+
+def test_random_schedule_is_deterministic():
+    from repro.chaos import FaultSchedule
+
+    a = FaultSchedule.random(99, "k0")
+    b = FaultSchedule.random(99, "k0")
+    assert a.events == b.events
+    assert FaultSchedule.random(100, "k0").events != a.events
