@@ -21,10 +21,16 @@ from .figures import (
     sec46_switch_scalability,
 )
 from .harness import ExperimentResult, build_nice, build_noob, run_to_completion
+from .parallel import Cell, configure, derive_seed, run_cells, source_fingerprint
 from .report import ascii_chart, format_result, format_table, ratio_summary
 
 __all__ = [
+    "Cell",
     "ExperimentResult",
+    "configure",
+    "derive_seed",
+    "run_cells",
+    "source_fingerprint",
     "ablation_chain_replication",
     "ablation_deployment",
     "ablation_lb_rules",

@@ -4,18 +4,30 @@ Examples::
 
     python -m repro.bench fig5                 # quick scale
     python -m repro.bench fig5 --full          # paper scale (1000 ops/point)
-    python -m repro.bench all --ops 100
+    python -m repro.bench all --ops 100 --jobs 4
     nice-bench fig12 --ops 500
+
+Figure and chaos sweeps decompose into independent cells (see
+``repro.bench.parallel``) that fan across ``--jobs`` worker processes and
+merge deterministically — ``--jobs 1`` and ``--jobs N`` output is
+bit-identical.  Results are cached content-addressed in ``.bench_cache/``
+(keyed on cell params + a fingerprint of ``src/repro``), so re-running
+after an unrelated edit skips unchanged cells; ``--no-cache`` disables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
-from . import ablations, figures
+from . import ablations, figures, parallel
 from .report import ascii_chart, format_result, ratio_summary
+
+#: Default path of the figure-suite JSON report.
+FIGURES_OUT = "BENCH_figures.json"
 
 
 def _chart_for(name: str, result):
@@ -43,21 +55,31 @@ def _chart_for(name: str, result):
 #: experiment id -> (runner(n_ops), summary spec or None)
 def _registry(n_ops: int, full: bool):
     ycsb_ops = 20000 if full else max(n_ops, 50)
+    # Figs 5/6/7 share one sweep; memoize it so `bench all` (or any subset
+    # of fig5/fig6/fig7) runs the expensive replication sweep exactly once
+    # per invocation.
+    shared = {}
+
+    def fig5_6_7():
+        if "result" not in shared:
+            shared["result"] = figures.fig5_6_7_replication(n_ops=n_ops)
+        return shared["result"]
+
     return {
         "fig4": (
             lambda: figures.fig4_request_routing(n_ops=n_ops),
             ("get_ms", "NICE", ["size_bytes"]),
         ),
         "fig5": (
-            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig5"],
+            lambda: fig5_6_7()["fig5"],
             ("put_ms", "NICE", ["size_bytes"]),
         ),
         "fig6": (
-            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig6"],
+            lambda: fig5_6_7()["fig6"],
             ("link_bytes_per_op", "NICE", ["size_bytes"]),
         ),
         "fig7": (
-            lambda: figures.fig5_6_7_replication(n_ops=n_ops)["fig7"],
+            lambda: fig5_6_7()["fig7"],
             None,
         ),
         "fig8": (
@@ -112,6 +134,26 @@ def main(argv=None) -> int:
         help="perf/chaos suites: shrunk matrices for CI sanity runs",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for figure/chaos cells "
+             "(default: all cores; 1 = inline, no pool)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=parallel.DEFAULT_CACHE_DIR, metavar="DIR",
+        help="content-addressed result cache for figure/chaos cells "
+             f"(default {parallel.DEFAULT_CACHE_DIR}; invalidated by any "
+             "src/repro edit)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always recompute cells; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--figures-out", default=FIGURES_OUT, metavar="PATH",
+        help=f"figure-suite JSON report path (default {FIGURES_OUT}; "
+             "'-' disables)",
+    )
+    parser.add_argument(
         "--perf-out", default=None, metavar="PATH",
         help="perf suite only: output JSON path (default BENCH_perf.json)",
     )
@@ -125,6 +167,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     n_ops = 1000 if args.full else args.ops
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    cache_dir = None if args.no_cache else args.cache_dir
+    prior_config = parallel.configure(jobs=jobs, cache_dir=cache_dir)
+    try:
+        return _run(parser, args, n_ops, jobs)
+    finally:
+        parallel.configure(**prior_config)
+
+
+def _run(parser, args, n_ops: int, jobs: int) -> int:
     registry = _registry(n_ops, args.full)
 
     wanted = args.experiment
@@ -132,11 +186,11 @@ def main(argv=None) -> int:
         from . import perf
 
         out_path = args.perf_out or perf.DEFAULT_OUT
-        t0 = time.time()
+        t0 = time.perf_counter()
         report = perf.run_suite(smoke=args.smoke, out_path=out_path)
         print(perf.format_report(report))
         print(f"wrote {out_path}")
-        print(f"({time.time() - t0:.1f}s wall)\n")
+        print(f"({time.perf_counter() - t0:.1f}s wall)\n")
         wanted = [w for w in wanted if w != "perf"]
         if not wanted:
             return 0
@@ -148,6 +202,9 @@ def main(argv=None) -> int:
             seeds=args.seeds, smoke=args.smoke, out_path=out_path
         )
         print(chaos.format_report(report))
+        cells = report.get("cells", [])
+        hits = sum(1 for c in cells if c["cache_hit"])
+        print(f"({len(cells)} cells, {hits} cache hits, --jobs {jobs})")
         print(f"wrote {out_path}")
         print(f"({report['wall_s']:.1f}s wall)\n")
         wanted = [w for w in wanted if w != "chaos"]
@@ -159,11 +216,16 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    parallel.drain_records()  # figure records start clean for the report
+    experiments = []
+    all_cells = []
     for name in wanted:
         runner, summary = registry[name]
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = runner()
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
+        cells = parallel.drain_records()
+        all_cells.extend(cells)
         print(format_result(result))
         chart = _chart_for(name, result)
         if chart:
@@ -175,7 +237,33 @@ def main(argv=None) -> int:
                 print("summary:")
                 for line in text.splitlines():
                     print(f"  {line}")
-        print(f"({elapsed:.1f}s wall)\n")
+        hits = sum(1 for c in cells if c["cache_hit"])
+        cell_note = f", {len(cells)} cells, {hits} cache hits" if cells else ""
+        print(f"({elapsed:.1f}s wall{cell_note})\n")
+        experiments.append(
+            {
+                "name": result.name,
+                "description": result.description,
+                "columns": result.columns,
+                "rows": result.rows,
+                "notes": result.notes,
+                "wall_s": elapsed,
+                "cells": cells,
+            }
+        )
+    if experiments and args.figures_out != "-":
+        report = {
+            "schema_version": 1,
+            "suite": "figures",
+            "provenance": parallel.provenance(
+                records=all_cells, ops=n_ops, jobs=jobs, full=args.full
+            ),
+            "experiments": experiments,
+        }
+        with open(args.figures_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.figures_out}")
     return 0
 
 

@@ -3,15 +3,22 @@
 These isolate individual design choices: multicast vs unicast fan-out,
 chain replication, the §4.5 load balancer, the §5.1 software-rewrite
 penalty, and the §4.1 membership-maintenance message complexity.
+
+Like the figure sweeps, each independent leg is a declarative
+:class:`~repro.bench.parallel.Cell` executed through
+:func:`~repro.bench.parallel.run_cells`, so ``bench all --jobs N``
+parallelizes and caches the ablations too.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 from ..sim import Tally
-from ..workloads import closed_loop_puts, hot_object_clients
+from ..workloads import closed_loop_gets, closed_loop_puts, hot_object_clients
+from .figures import BASE_SEED
 from .harness import ExperimentResult, build_nice, build_noob, run_to_completion
+from .parallel import Cell, run_cells
 
 __all__ = [
     "ablation_chain_replication",
@@ -22,7 +29,42 @@ __all__ = [
 ]
 
 
-def ablation_deployment(n_ops: int = 200, sizes: Sequence[int] = (4, 65536, 1 << 20)) -> ExperimentResult:
+def ablation_deployment_cell(
+    deployment: str, n_ops: int, sizes: Sequence[int], seed: int
+) -> Dict:
+    """One §5.1 deployment leg: hw (rewriting switch) or ovs split."""
+    cluster = build_nice(
+        n_storage_nodes=15, n_clients=1, deployment=deployment, seed=seed
+    )
+    client = cluster.clients[0]
+
+    def driver(sim):
+        out = {}
+        for size in sizes:
+            key = f"dep-{size}"
+            seeded = yield client.put(key, "x", size)
+            assert seeded.ok
+            puts = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            gets = yield closed_loop_gets(client, sim, n_ops, [key])
+            out[size] = (gets, puts)
+        return out
+
+    tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    rows = [
+        dict(
+            deployment=deployment, size_bytes=size,
+            get_ms=gets.mean * 1e3, put_ms=puts.mean * 1e3,
+        )
+        for size, (gets, puts) in tallies.items()
+    ]
+    return {"rows": rows}
+
+
+def ablation_deployment(
+    n_ops: int = 200,
+    sizes: Sequence[int] = (4, 65536, 1 << 20),
+    seed: int = BASE_SEED,
+) -> ExperimentResult:
     """§5.1 deployment comparison: idealized rewriting hardware switch vs
     the deployed client-side-OVS split (paper: <4% switching-speed loss)."""
     result = ExperimentResult(
@@ -30,35 +72,61 @@ def ablation_deployment(n_ops: int = 200, sizes: Sequence[int] = (4, 65536, 1 <<
         "hw (rewriting switch) vs ovs (client-side rewrite) — get/put ms",
         ["deployment", "size_bytes", "get_ms", "put_ms"],
     )
-    for deployment in ("hw", "ovs"):
-        cluster = build_nice(n_storage_nodes=15, n_clients=1, deployment=deployment)
-        client = cluster.clients[0]
-
-        def driver(sim):
-            out = {}
-            for size in sizes:
-                key = f"dep-{size}"
-                seed = yield client.put(key, "x", size)
-                assert seed.ok
-                puts = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
-                from ..workloads import closed_loop_gets
-
-                gets = yield closed_loop_gets(client, sim, n_ops, [key])
-                out[size] = (gets, puts)
-            return out
-
-        tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-        for size, (gets, puts) in tallies.items():
-            result.add(
-                deployment=deployment, size_bytes=size,
-                get_ms=gets.mean * 1e3, put_ms=puts.mean * 1e3,
-            )
+    cells = [
+        Cell(
+            ablation_deployment_cell,
+            dict(deployment=d, n_ops=n_ops, sizes=list(sizes)),
+            seed=seed,
+        )
+        for d in ("hw", "ovs")
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note("paper §5.1: deployed split costs <4% of switching speed")
     return result
 
 
+#: Chain-ablation systems: display name -> builder overrides (None = NICE).
+_CHAIN_SYSTEMS = {
+    "NICE": None,
+    "NOOB primary fan-out": dict(access="rac", consistency="primary"),
+    "NOOB chain": dict(access="rac", consistency="chain"),
+}
+
+
+def ablation_chain_cell(
+    system: str, n_ops: int, sizes: Sequence[int], seed: int
+) -> Dict:
+    """One chain-replication leg: put latency for a single system."""
+    overrides = _CHAIN_SYSTEMS[system]
+    if overrides is None:
+        cluster = build_nice(n_storage_nodes=15, n_clients=1, seed=seed)
+    else:
+        cluster = build_noob(n_storage_nodes=15, n_clients=1, seed=seed, **overrides)
+    client = cluster.clients[0]
+
+    def driver(sim):
+        out = {}
+        for size in sizes:
+            key = f"chain-{size}"
+            seeded = yield client.put(key, "x", size)
+            assert seeded.ok
+            tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            out[size] = tally
+        return out
+
+    tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    rows = [
+        dict(system=system, size_bytes=size, put_ms=tally.mean * 1e3)
+        for size, tally in tallies.items()
+    ]
+    return {"rows": rows}
+
+
 def ablation_chain_replication(
-    n_ops: int = 200, sizes: Sequence[int] = (1024, 262144, 1 << 20)
+    n_ops: int = 200,
+    sizes: Sequence[int] = (1024, 262144, 1 << 20),
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """§4.2's related-work point: chain replication distributes load but
     latency grows with the chain; NICE multicast avoids both costs."""
@@ -67,35 +135,54 @@ def ablation_chain_replication(
         "Chain replication vs primary fan-out vs NICE multicast (put ms)",
         ["system", "size_bytes", "put_ms"],
     )
-    systems = [
-        ("NICE", lambda: build_nice(n_storage_nodes=15, n_clients=1)),
-        ("NOOB primary fan-out", lambda: build_noob(
-            n_storage_nodes=15, n_clients=1, access="rac", consistency="primary")),
-        ("NOOB chain", lambda: build_noob(
-            n_storage_nodes=15, n_clients=1, access="rac", consistency="chain")),
+    cells = [
+        Cell(
+            ablation_chain_cell,
+            dict(system=s, n_ops=n_ops, sizes=list(sizes)),
+            seed=seed,
+        )
+        for s in _CHAIN_SYSTEMS
     ]
-    for system, builder in systems:
-        cluster = builder()
-        client = cluster.clients[0]
-
-        def driver(sim):
-            out = {}
-            for size in sizes:
-                key = f"chain-{size}"
-                seed = yield client.put(key, "x", size)
-                assert seed.ok
-                tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
-                out[size] = tally
-            return out
-
-        tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-        for size, tally in tallies.items():
-            result.add(system=system, size_bytes=size, put_ms=tally.mean * 1e3)
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note("R=3; chain latency should sit above primary fan-out for small R")
     return result
 
 
-def ablation_lb_rules(n_ops: int = 300, n_clients: int = 6) -> ExperimentResult:
+def ablation_lb_cell(load_balancing: bool, n_ops: int, n_clients: int, seed: int) -> Dict:
+    """One §4.5 leg: hot-object gets with the LB rules on or off."""
+    cluster = build_nice(
+        n_storage_nodes=15, n_clients=n_clients, load_balancing=load_balancing,
+        seed=seed,
+    )
+    key = "lb-hot"
+
+    def driver(sim):
+        res = yield hot_object_clients(
+            cluster.clients[0], cluster.clients[1:], sim, key, 1024, n_ops,
+            include_put=False,
+        )
+        return res
+
+    res = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    replicas = cluster.replica_nodes(key)
+    served = [n.gets_served.value for n in replicas]
+    total = max(sum(served), 1)
+    return {
+        "rows": [
+            dict(
+                load_balancing=load_balancing,
+                get_ms=res["get"].mean * 1e3,
+                replicas_serving=sum(1 for s in served if s > 0),
+                primary_share=served[0] / total,
+            )
+        ]
+    }
+
+
+def ablation_lb_rules(
+    n_ops: int = 300, n_clients: int = 6, seed: int = BASE_SEED
+) -> ExperimentResult:
     """§4.5 isolated: hot-object gets with and without the source-prefix
     load-balancing rules."""
     result = ExperimentResult(
@@ -103,32 +190,46 @@ def ablation_lb_rules(n_ops: int = 300, n_clients: int = 6) -> ExperimentResult:
         "In-network load balancing on/off — hot-object get latency and spread",
         ["load_balancing", "get_ms", "replicas_serving", "primary_share"],
     )
-    for lb in (True, False):
-        cluster = build_nice(n_storage_nodes=15, n_clients=n_clients, load_balancing=lb)
-        key = "lb-hot"
-
-        def driver(sim):
-            res = yield hot_object_clients(
-                cluster.clients[0], cluster.clients[1:], sim, key, 1024, n_ops,
-                include_put=False,
-            )
-            return res
-
-        res = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-        replicas = cluster.replica_nodes(key)
-        served = [n.gets_served.value for n in replicas]
-        total = max(sum(served), 1)
-        result.add(
-            load_balancing=lb,
-            get_ms=res["get"].mean * 1e3,
-            replicas_serving=sum(1 for s in served if s > 0),
-            primary_share=served[0] / total,
+    cells = [
+        Cell(
+            ablation_lb_cell,
+            dict(load_balancing=lb, n_ops=n_ops, n_clients=n_clients),
+            seed=seed,
         )
+        for lb in (True, False)
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     return result
 
 
+def ablation_membership_cell(nodes: int, seed: int) -> Dict:
+    """One §4.1 leg: membership-change message counts at one cluster size."""
+    cluster = build_nice(n_storage_nodes=nodes, n_clients=1, n_partitions=nodes, seed=seed)
+    base_switch = cluster.control_plane.messages_to_switch.value
+    base_node = cluster.metadata.membership_messages.value
+    cluster.metadata.declare_failed("n1")
+    cluster.sim.run(until=cluster.sim.now + 0.5)
+    nice_switch = cluster.control_plane.messages_to_switch.value - base_switch
+    nice_node = cluster.metadata.membership_messages.value - base_node
+
+    noob = build_noob(n_storage_nodes=nodes, n_clients=1, n_partitions=nodes, seed=seed)
+    proc = noob.broadcast_membership_change()
+    run_to_completion(noob, proc)
+    return {
+        "rows": [
+            dict(
+                nodes=nodes,
+                nice_switch_msgs=nice_switch,
+                nice_node_msgs=nice_node,
+                noob_node_msgs=noob.membership_messages_sent,
+            )
+        ]
+    }
+
+
 def ablation_membership_maintenance(
-    node_counts: Sequence[int] = (4, 8, 12)
+    node_counts: Sequence[int] = (4, 8, 12), seed: int = BASE_SEED
 ) -> ExperimentResult:
     """§4.1's scalability claim: a NICE membership change costs O(S)+O(R)
     messages; NOOB full membership costs O(N)."""
@@ -137,24 +238,12 @@ def ablation_membership_maintenance(
         "Messages per membership change — NICE O(S)+O(R) vs NOOB O(N)",
         ["nodes", "nice_switch_msgs", "nice_node_msgs", "noob_node_msgs"],
     )
-    for n in node_counts:
-        cluster = build_nice(n_storage_nodes=n, n_clients=1, n_partitions=n)
-        base_switch = cluster.control_plane.messages_to_switch.value
-        base_node = cluster.metadata.membership_messages.value
-        cluster.metadata.declare_failed("n1")
-        cluster.sim.run(until=cluster.sim.now + 0.5)
-        nice_switch = cluster.control_plane.messages_to_switch.value - base_switch
-        nice_node = cluster.metadata.membership_messages.value - base_node
-
-        noob = build_noob(n_storage_nodes=n, n_clients=1, n_partitions=n)
-        proc = noob.broadcast_membership_change()
-        run_to_completion(noob, proc)
-        result.add(
-            nodes=n,
-            nice_switch_msgs=nice_switch,
-            nice_node_msgs=nice_node,
-            noob_node_msgs=noob.membership_messages_sent,
-        )
+    cells = [
+        Cell(ablation_membership_cell, dict(nodes=n), seed=seed)
+        for n in node_counts
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(
         "NICE node messages stay O(R) per affected partition regardless of N; "
         "NOOB broadcasts to every node"
@@ -162,8 +251,26 @@ def ablation_membership_maintenance(
     return result
 
 
+def ablation_sw_rewrite_cell(penalty: float, n_ops: int, seed: int) -> Dict:
+    """One §5.1 leg: gets through a given software-rewrite penalty."""
+    cluster = build_nice(n_storage_nodes=15, n_clients=1, seed=seed)
+    cluster.switch.rewrite_penalty_s = penalty
+    client = cluster.clients[0]
+
+    def driver(sim):
+        seeded = yield client.put("swkey", "x", 1024)
+        assert seeded.ok
+        tally = yield closed_loop_gets(client, sim, n_ops, ["swkey"])
+        return tally
+
+    tally = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    return {"rows": [dict(rewrite_penalty_s=penalty, get_ms=tally.mean * 1e3)]}
+
+
 def ablation_software_rewrite(
-    n_ops: int = 200, penalties: Sequence[float] = (0.0, 5e-3)
+    n_ops: int = 200,
+    penalties: Sequence[float] = (0.0, 5e-3),
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """§5.1 deployment experience: the one hardware switch that could
     rewrite headers did so in software, three orders of magnitude slower."""
@@ -172,20 +279,11 @@ def ablation_software_rewrite(
         "Header rewrite in hardware vs software path (get ms, 1 KB)",
         ["rewrite_penalty_s", "get_ms"],
     )
-    for penalty in penalties:
-        cluster = build_nice(n_storage_nodes=15, n_clients=1)
-        cluster.switch.rewrite_penalty_s = penalty
-        client = cluster.clients[0]
-
-        def driver(sim):
-            seed = yield client.put("swkey", "x", 1024)
-            assert seed.ok
-            from ..workloads import closed_loop_gets
-
-            tally = yield closed_loop_gets(client, sim, n_ops, ["swkey"])
-            return tally
-
-        tally = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-        result.add(rewrite_penalty_s=penalty, get_ms=tally.mean * 1e3)
+    cells = [
+        Cell(ablation_sw_rewrite_cell, dict(penalty=p, n_ops=n_ops), seed=seed)
+        for p in penalties
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note("paper: software path was ~1000x slower switching")
     return result

@@ -33,8 +33,12 @@ from ..check import (
 )
 from ..workloads.synthetic import keys_in_partition
 from .harness import build_nice, build_noob
+from .parallel import Cell, drain_records, provenance, run_cells
 
-__all__ = ["run_suite", "format_report", "DEFAULT_OUT", "MODES", "run_case"]
+__all__ = ["run_suite", "format_report", "DEFAULT_OUT", "MODES", "run_case", "chaos_cell"]
+
+#: Schedule-suite key the sweep builds its schedules under.
+SCHEDULE_KEY = "k0"
 
 DEFAULT_OUT = "BENCH_chaos.json"
 
@@ -107,6 +111,10 @@ def _schedule_suite(key: str, names: Optional[List[str]] = None) -> List[FaultSc
     if unknown:
         raise ValueError(f"unknown schedule(s) {unknown}; have {sorted(suite)}")
     return [suite[n] for n in names]
+
+
+def _schedule_by_name(key: str, name: str) -> FaultSchedule:
+    return _schedule_suite(key, [name])[0]
 
 
 def _workload(cluster, recorder: HistoryRecorder, keys: List[str], duration: float, seed: int):
@@ -210,6 +218,15 @@ def rebuild_for_key(schedule: FaultSchedule, key: str) -> FaultSchedule:
     return FaultSchedule(schedule.name, tuple(events), schedule.description)
 
 
+def chaos_cell(mode: str, schedule: str, duration: float, seed: int) -> Dict:
+    """One matrix cell, addressable by config alone: the schedule is
+    rebuilt from its name inside the (possibly worker) process, so a cell
+    is a pure function of ``(mode, schedule, duration, seed)``."""
+    return run_case(
+        mode, _schedule_by_name(SCHEDULE_KEY, schedule), seed, duration=duration
+    )
+
+
 def run_suite(
     seeds: int = 5,
     baseline_seeds: int = 2,
@@ -223,20 +240,29 @@ def run_suite(
 
     NICE gets the full ``seeds`` sweep (the paper's headline claim);
     baselines get ``baseline_seeds`` each to bound wall time.  ``smoke``
-    shrinks everything for CI.
+    shrinks everything for CI.  Cells fan across workers per the session's
+    ``--jobs`` setting; the merged case order (mode → schedule → seed) and
+    every case payload are identical to a sequential run.
     """
     if smoke:
         seeds, baseline_seeds, duration = 2, 1, 8.0
         modes = modes or ["nice", "rac-2pc", "rac-weak"]
         schedules = schedules or ["crash_rejoin", "partition_rejoin", "primary_crash"]
     modes = modes or list(MODES)
-    cases: List[Dict] = []
-    t0 = time.time()
-    for mode in modes:
-        n_seeds = seeds if mode == "nice" else baseline_seeds
-        for schedule in _schedule_suite("k0", schedules):
-            for seed in range(1, n_seeds + 1):
-                cases.append(run_case(mode, schedule, seed, duration=duration))
+    t0 = time.perf_counter()
+    drain_records()  # isolate this suite's cell records from earlier runs
+    cells = [
+        Cell(
+            chaos_cell,
+            dict(mode=mode, schedule=schedule.name, duration=duration),
+            seed=seed,
+        )
+        for mode in modes
+        for schedule in _schedule_suite(SCHEDULE_KEY, schedules)
+        for seed in range(1, (seeds if mode == "nice" else baseline_seeds) + 1)
+    ]
+    cases: List[Dict] = run_cells(cells)
+    cell_records = drain_records()
 
     summary: Dict[str, Dict] = {}
     failures: List[str] = []
@@ -268,15 +294,17 @@ def run_suite(
                     f"unexpected violation: {c['reason']}"
                 )
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "suite": "chaos",
         "smoke": smoke,
         "duration_s_per_case": duration,
+        "provenance": provenance(records=cell_records, seeds=seeds),
         "cases": cases,
+        "cells": cell_records,
         "summary": summary,
         "failures": failures,
         "passed": not failures,
-        "wall_s": round(time.time() - t0, 1),
+        "wall_s": round(time.perf_counter() - t0, 1),
     }
     if out_path:
         with open(out_path, "w") as fh:

@@ -6,6 +6,14 @@ paper's workload, and returns an :class:`ExperimentResult` whose rows are
 the figure's data points.  ``n_ops`` defaults to the paper's 1000
 operations per point; the pytest benchmarks pass reduced counts (the
 simulator is deterministic, so means converge with far fewer samples).
+
+Every sweep decomposes into declarative :class:`~repro.bench.parallel.Cell`
+records — one per independent (system, replication, size, ...) leg, each
+building its own cluster from an explicit seed — executed through
+:func:`~repro.bench.parallel.run_cells`.  With ``--jobs 1`` (the library
+default) cells run inline in sweep order; with ``--jobs N`` they fan
+across worker processes and merge back in canonical cell order, so the
+rows are bit-identical either way (pinned by tests/bench/test_parallel.py).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from ..workloads import (
     run_fault_timeline,
 )
 from .harness import ExperimentResult, build_nice, build_noob, run_to_completion
+from .parallel import Cell, run_cells
 
 __all__ = [
     "fig4_request_routing",
@@ -43,6 +52,11 @@ __all__ = [
 #: The four systems of Figs 4–7.
 ROUTING_SYSTEMS = ("NICE", "NOOB+RAC", "NOOB+RAG", "NOOB+ROG")
 
+#: Base cluster seed shared by the figure sweeps (= ClusterConfig default).
+#: Each cell receives it explicitly so a cell's execution is a pure
+#: function of its (params, seed) record, independent of sweep order.
+BASE_SEED: int = ClusterConfig.__dataclass_fields__["seed"].default
+
 
 def _build(system: str, **overrides):
     if system == "NICE":
@@ -53,8 +67,33 @@ def _build(system: str, **overrides):
 
 
 # --------------------------------------------------------------------- Fig 4
+def fig4_cell(system: str, n_ops: int, sizes: Sequence[int], seed: int) -> Dict:
+    """One Fig 4 leg: get latency vs size for a single system."""
+    cluster = _build(system, n_storage_nodes=15, n_clients=1, seed=seed)
+    client = cluster.clients[0]
+    rows: List[Dict] = []
+
+    def driver(sim):
+        for size in sizes:
+            key = f"routing-{size}"
+            r = yield client.put(key, "x", size)
+            assert r.ok, f"{system}: seed put failed"
+            tally = yield closed_loop_gets(client, sim, n_ops, [key])
+            rows.append(
+                dict(
+                    system=system,
+                    size_bytes=size,
+                    get_ms=tally.mean * 1e3,
+                    stdev_ms=tally.stdev * 1e3,
+                )
+            )
+
+    run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    return {"rows": rows}
+
+
 def fig4_request_routing(
-    n_ops: int = 1000, sizes: Sequence[int] = OBJECT_SIZES
+    n_ops: int = 1000, sizes: Sequence[int] = OBJECT_SIZES, seed: int = BASE_SEED
 ) -> ExperimentResult:
     """Fig 4: average get time vs object size for NICE / RAC / RAG / ROG."""
     result = ExperimentResult(
@@ -62,31 +101,65 @@ def fig4_request_routing(
         "Request Routing Performance — average get() time (ms), log-size axis",
         ["system", "size_bytes", "get_ms", "stdev_ms"],
     )
-    for system in ROUTING_SYSTEMS:
-        cluster = _build(system, n_storage_nodes=15, n_clients=1)
-        client = cluster.clients[0]
-
-        def driver(sim):
-            for size in sizes:
-                key = f"routing-{size}"
-                r = yield client.put(key, "x", size)
-                assert r.ok, f"{system}: seed put failed"
-                tally = yield closed_loop_gets(client, sim, n_ops, [key])
-                result.add(
-                    system=system,
-                    size_bytes=size,
-                    get_ms=tally.mean * 1e3,
-                    stdev_ms=tally.stdev * 1e3,
-                )
-
-        run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    cells = [
+        Cell(fig4_cell, dict(system=s, n_ops=n_ops, sizes=list(sizes)), seed=seed)
+        for s in ROUTING_SYSTEMS
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(f"{n_ops} gets per point; single client, R=3, 15 storage nodes")
     return result
 
 
 # ----------------------------------------------------------------- Figs 5–7
+def fig5_6_7_cell(system: str, n_ops: int, sizes: Sequence[int], seed: int) -> Dict:
+    """One Figs 5–7 leg: put time / link load / storage-load ratio for a
+    single system across object sizes."""
+    cluster = _build(system, n_storage_nodes=15, n_clients=1, seed=seed)
+    client = cluster.clients[0]
+    rows5: List[Dict] = []
+    rows6: List[Dict] = []
+    rows7: List[Dict] = []
+
+    def driver(sim):
+        for size in sizes:
+            key = f"repl-{size}"
+            # Warm paths (connections, rules) outside the measurement.
+            r = yield client.put(key, "x", size)
+            assert r.ok
+            cluster.reset_measurements()
+            tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            total_bytes = cluster.network.total_link_bytes()
+            replicas = cluster.replica_nodes(key)
+            primary, secondaries = replicas[0], replicas[1:]
+            pio = cluster.network.host_io_bytes(primary.host)
+            sio = [cluster.network.host_io_bytes(s.host) for s in secondaries]
+            rows5.append(
+                dict(
+                    system=system, size_bytes=size,
+                    put_ms=tally.mean * 1e3, stdev_ms=tally.stdev * 1e3,
+                )
+            )
+            rows6.append(
+                dict(
+                    system=system, size_bytes=size,
+                    link_bytes_per_op=total_bytes / max(tally.count, 1),
+                    x_object_size=total_bytes / max(tally.count, 1) / wire_size(size),
+                )
+            )
+            rows7.append(
+                dict(
+                    system=system, size_bytes=size,
+                    load_ratio=pio / max(float(np.mean(sio)), 1.0) if sio else 1.0,
+                )
+            )
+
+    run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    return {"fig5": rows5, "fig6": rows6, "fig7": rows7}
+
+
 def fig5_6_7_replication(
-    n_ops: int = 1000, sizes: Sequence[int] = OBJECT_SIZES
+    n_ops: int = 1000, sizes: Sequence[int] = OBJECT_SIZES, seed: int = BASE_SEED
 ) -> Dict[str, ExperimentResult]:
     """Figs 5, 6, 7: put time, total network link load, and
     primary:secondary storage-load ratio, per object size and system."""
@@ -102,48 +175,73 @@ def fig5_6_7_replication(
         "fig7", "Storage Load Ratio — primary IO bytes / mean secondary IO bytes",
         ["system", "size_bytes", "load_ratio"],
     )
-    for system in ROUTING_SYSTEMS:
-        cluster = _build(system, n_storage_nodes=15, n_clients=1)
-        client = cluster.clients[0]
-
-        def driver(sim):
-            for size in sizes:
-                key = f"repl-{size}"
-                # Warm paths (connections, rules) outside the measurement.
-                r = yield client.put(key, "x", size)
-                assert r.ok
-                cluster.reset_measurements()
-                tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
-                total_bytes = cluster.network.total_link_bytes()
-                if system == "NICE":
-                    replicas = cluster.replica_nodes(key)
-                    primary, secondaries = replicas[0], replicas[1:]
-                else:
-                    replicas = cluster.replica_nodes(key)
-                    primary, secondaries = replicas[0], replicas[1:]
-                pio = cluster.network.host_io_bytes(primary.host)
-                sio = [cluster.network.host_io_bytes(s.host) for s in secondaries]
-                fig5.add(
-                    system=system, size_bytes=size,
-                    put_ms=tally.mean * 1e3, stdev_ms=tally.stdev * 1e3,
-                )
-                fig6.add(
-                    system=system, size_bytes=size,
-                    link_bytes_per_op=total_bytes / max(tally.count, 1),
-                    x_object_size=total_bytes / max(tally.count, 1) / wire_size(size),
-                )
-                fig7.add(
-                    system=system, size_bytes=size,
-                    load_ratio=pio / max(float(np.mean(sio)), 1.0) if sio else 1.0,
-                )
-
-        run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    cells = [
+        Cell(fig5_6_7_cell, dict(system=s, n_ops=n_ops, sizes=list(sizes)), seed=seed)
+        for s in ROUTING_SYSTEMS
+    ]
+    for payload in run_cells(cells):
+        fig5.rows.extend(payload["fig5"])
+        fig6.rows.extend(payload["fig6"])
+        fig7.rows.extend(payload["fig7"])
     for fig in (fig5, fig6, fig7):
         fig.note(f"{n_ops} puts per point; single client, R=3, 15 storage nodes")
     return {"fig5": fig5, "fig6": fig6, "fig7": fig7}
 
 
 # --------------------------------------------------------------------- Fig 8
+def fig8_cell(
+    system: str,
+    quorum: int,
+    n_ops: int,
+    size: int,
+    replication: int,
+    n_slow: int,
+    slow_bps: float,
+    seed: int,
+) -> Dict:
+    """One Fig 8 leg: quorum-k puts with throttled replicas, one system."""
+    key = "quorum-object"
+    if system == "NICE":
+        cluster = build_nice(
+            n_storage_nodes=15, n_clients=1, replication_level=replication, seed=seed
+        )
+    else:
+        cluster = build_noob(
+            n_storage_nodes=15, n_clients=1, replication_level=replication,
+            consistency="quorum", quorum_k=quorum, access="rac", seed=seed,
+        )
+    replicas = cluster.replica_nodes(key)
+    for node in replicas[-n_slow:]:
+        cluster.network.link_between(cluster.switch, node.host).set_bandwidth(slow_bps)
+    client = cluster.clients[0]
+
+    def nice_driver(sim):
+        tally = Tally("nice")
+        for i in range(n_ops):
+            r = yield client.put_anyk(key, "x", size, quorum=quorum)
+            tally.observe(r.latency)
+        return tally
+
+    def noob_driver(sim):
+        tally = Tally("noob")
+        for i in range(n_ops):
+            r = yield client.put(key, "x", size, max_retries=0)
+            if r.ok:
+                tally.observe(r.latency)
+        return tally
+
+    driver = nice_driver if system == "NICE" else noob_driver
+    tally = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    return {
+        "rows": [
+            dict(
+                system=system, quorum=quorum, put_ms=tally.mean * 1e3,
+                bandwidth_MBps=size / tally.mean / 1e6,
+            )
+        ]
+    }
+
+
 def fig8_quorum(
     n_ops: int = 1000,
     size: int = 1 << 20,
@@ -151,6 +249,7 @@ def fig8_quorum(
     quorums: Sequence[int] = (1, 3, 5, 7),
     n_slow: int = 3,
     slow_bps: float = 50 * MBPS,
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """Fig 8: quorum-based replication with 3 replicas throttled to 50 Mbps.
 
@@ -162,57 +261,20 @@ def fig8_quorum(
         "Quorum-based Replication — put time (a) and achieved bandwidth (b)",
         ["system", "quorum", "put_ms", "bandwidth_MBps"],
     )
-    key = "quorum-object"
-
-    def throttle_slow_replicas(cluster, replicas):
-        slow = replicas[-n_slow:]
-        for node in slow:
-            cluster.network.link_between(cluster.switch, node.host).set_bandwidth(slow_bps)
-        return [n.name for n in slow]
-
-    for k in quorums:
-        # -- NICE ---------------------------------------------------------
-        cluster = build_nice(
-            n_storage_nodes=15, n_clients=1, replication_level=replication
+    cells = [
+        Cell(
+            fig8_cell,
+            dict(
+                system=system, quorum=k, n_ops=n_ops, size=size,
+                replication=replication, n_slow=n_slow, slow_bps=slow_bps,
+            ),
+            seed=seed,
         )
-        replicas = cluster.replica_nodes(key)
-        throttle_slow_replicas(cluster, replicas)
-        client = cluster.clients[0]
-
-        def nice_driver(sim, k=k):
-            tally = Tally("nice")
-            for i in range(n_ops):
-                r = yield client.put_anyk(key, "x", size, quorum=k)
-                tally.observe(r.latency)
-            return tally
-
-        tally = run_to_completion(cluster, cluster.sim.process(nice_driver(cluster.sim)))
-        result.add(
-            system="NICE", quorum=k, put_ms=tally.mean * 1e3,
-            bandwidth_MBps=size / tally.mean / 1e6,
-        )
-        # -- NOOB ----------------------------------------------------------
-        cluster = build_noob(
-            n_storage_nodes=15, n_clients=1, replication_level=replication,
-            consistency="quorum", quorum_k=k, access="rac",
-        )
-        replicas = cluster.replica_nodes(key)
-        throttle_slow_replicas(cluster, replicas)
-        client = cluster.clients[0]
-
-        def noob_driver(sim):
-            tally = Tally("noob")
-            for i in range(n_ops):
-                r = yield client.put(key, "x", size, max_retries=0)
-                if r.ok:
-                    tally.observe(r.latency)
-            return tally
-
-        tally = run_to_completion(cluster, cluster.sim.process(noob_driver(cluster.sim)))
-        result.add(
-            system="NOOB", quorum=k, put_ms=tally.mean * 1e3,
-            bandwidth_MBps=size / tally.mean / 1e6,
-        )
+        for k in quorums
+        for system in ("NICE", "NOOB")
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(
         f"{n_ops} x {size}B puts, R={replication}, {n_slow} replicas at "
         f"{slow_bps / MBPS:.0f} Mbps"
@@ -221,10 +283,61 @@ def fig8_quorum(
 
 
 # --------------------------------------------------------------------- Fig 9
+#: Fig 9 / Fig 10 / Fig 12 system legs: name -> (builder, config overrides).
+_SYSTEM_BUILDS = {
+    "NICE": ("nice", {}),
+    "NOOB primary-only": ("noob", dict(access="rac", consistency="primary")),
+    "NOOB 2PC": ("noob", dict(access="rac", consistency="2pc")),
+    # The paper's 2PC configuration load-balances through a gateway —
+    # its Fig 10/12 cost includes "the added load-balancing latency".
+    "NOOB 2PC (gateway)": ("noob", dict(access="rag", consistency="2pc")),
+}
+
+
+def _build_leg(system: str, **overrides):
+    kind, extra = _SYSTEM_BUILDS[system]
+    kwargs = dict(extra, **overrides)
+    if kind == "nice":
+        return build_nice(**kwargs)
+    return build_noob(**kwargs)
+
+
+def fig9_cell(
+    system: str, replication: int, n_ops: int, sizes: Sequence[int], seed: int
+) -> Dict:
+    """One Fig 9 leg: put latency at one (system, replication level)."""
+    cluster = _build_leg(
+        system, n_storage_nodes=15, n_clients=1, replication_level=replication,
+        seed=seed,
+    )
+    client = cluster.clients[0]
+
+    def driver(sim):
+        out = {}
+        for size in sizes:
+            key = f"cons-{size}"
+            seeded = yield client.put(key, "x", size)
+            assert seeded.ok
+            tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
+            out[size] = tally
+        return out
+
+    tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    rows = [
+        dict(
+            system=system, replication=replication, size_bytes=size,
+            put_ms=tally.mean * 1e3, stdev_ms=tally.stdev * 1e3,
+        )
+        for size, tally in tallies.items()
+    ]
+    return {"rows": rows}
+
+
 def fig9_consistency(
     n_ops: int = 1000,
     levels: Sequence[int] = (1, 3, 5, 7, 9),
     sizes: Sequence[int] = (4, 1 << 20),
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """Fig 9: put time vs replication level (4 B and 1 MB objects) for NICE,
     NOOB primary-only and NOOB-2PC (RAC routing)."""
@@ -233,53 +346,79 @@ def fig9_consistency(
         "Consistency Mechanism Performance — put time vs replication level",
         ["system", "replication", "size_bytes", "put_ms", "stdev_ms"],
     )
-    systems = [
-        ("NICE", lambda r: build_nice(n_storage_nodes=15, n_clients=1, replication_level=r)),
-        (
-            "NOOB primary-only",
-            lambda r: build_noob(
-                n_storage_nodes=15, n_clients=1, replication_level=r,
-                access="rac", consistency="primary",
-            ),
-        ),
-        (
-            "NOOB 2PC",
-            lambda r: build_noob(
-                n_storage_nodes=15, n_clients=1, replication_level=r,
-                access="rac", consistency="2pc",
-            ),
-        ),
+    cells = [
+        Cell(
+            fig9_cell,
+            dict(system=system, replication=r, n_ops=n_ops, sizes=list(sizes)),
+            seed=seed,
+        )
+        for system in ("NICE", "NOOB primary-only", "NOOB 2PC")
+        for r in levels
     ]
-    for system, builder in systems:
-        for r in levels:
-            cluster = builder(r)
-            client = cluster.clients[0]
-
-            def driver(sim):
-                out = {}
-                for size in sizes:
-                    key = f"cons-{size}"
-                    seed = yield client.put(key, "x", size)
-                    assert seed.ok
-                    tally = yield closed_loop_puts(client, sim, n_ops, size, keys=[key])
-                    out[size] = tally
-                return out
-
-            tallies = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-            for size, tally in tallies.items():
-                result.add(
-                    system=system, replication=r, size_bytes=size,
-                    put_ms=tally.mean * 1e3, stdev_ms=tally.stdev * 1e3,
-                )
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(f"{n_ops} puts per point; single client; NOOB uses RAC routing")
     return result
 
 
 # -------------------------------------------------------------------- Fig 10
+def fig10_cell(
+    system: str, replication: int, size: int, n_ops: int, seed: int
+) -> Dict:
+    """One Fig 10 leg: hot-object weak scaling at one (system, R, size)."""
+    n_clients = max(replication, 1)
+    key = "hot-object"
+    build_system = "NOOB 2PC (gateway)" if system == "NOOB 2PC" else system
+    # Full workload: 1 putter + (R-1) getters.
+    cluster = _build_leg(
+        build_system, n_storage_nodes=15, n_clients=n_clients,
+        replication_level=replication, seed=seed,
+    )
+
+    def driver(sim, cluster=cluster):
+        res = yield hot_object_clients(
+            cluster.clients[0], cluster.clients[1:], sim, key, size, n_ops
+        )
+        return res
+
+    res = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+    combined = Tally("combined")
+    for t in (res["put"], res["get"]):
+        for s in t.samples:
+            combined.observe(s)
+    # Marker: the same run without the put client.
+    cluster2 = _build_leg(
+        build_system, n_storage_nodes=15, n_clients=n_clients,
+        replication_level=replication, seed=seed,
+    )
+
+    def marker_driver(sim, cluster=cluster2):
+        res = yield hot_object_clients(
+            cluster.clients[0], cluster.clients[1:], sim, key, size,
+            n_ops, include_put=False,
+        )
+        return res
+
+    marker = run_to_completion(
+        cluster2, cluster2.sim.process(marker_driver(cluster2.sim))
+    )
+    return {
+        "rows": [
+            dict(
+                system=system, replication=replication, size_bytes=size,
+                clients=n_clients,
+                op_ms=combined.mean * 1e3, stdev_ms=combined.stdev * 1e3,
+                get_only_ms=marker["get"].mean * 1e3 if marker["get"].count else 0.0,
+            )
+        ]
+    }
+
+
 def fig10_load_balancing(
     n_ops: int = 1000,
     levels: Sequence[int] = (1, 3, 5, 7, 9),
     sizes: Sequence[int] = (4, 1 << 20),
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """Fig 10: hot-object weak scaling — 1 put client + (R−1) get clients on
     one object, clients grow with the replication level; bold markers are
@@ -292,55 +431,18 @@ def fig10_load_balancing(
             "op_ms", "stdev_ms", "get_only_ms",
         ],
     )
-    systems = [
-        ("NICE", lambda r, c: build_nice(
-            n_storage_nodes=15, n_clients=c, replication_level=r)),
-        ("NOOB primary-only", lambda r, c: build_noob(
-            n_storage_nodes=15, n_clients=c, replication_level=r,
-            access="rac", consistency="primary")),
-        # The paper's 2PC configuration load-balances through a gateway —
-        # its Fig 10 cost includes "the added load-balancing latency".
-        ("NOOB 2PC", lambda r, c: build_noob(
-            n_storage_nodes=15, n_clients=c, replication_level=r,
-            access="rag", consistency="2pc")),
+    cells = [
+        Cell(
+            fig10_cell,
+            dict(system=system, replication=r, size=size, n_ops=n_ops),
+            seed=seed,
+        )
+        for system in ("NICE", "NOOB primary-only", "NOOB 2PC")
+        for r in levels
+        for size in sizes
     ]
-    for system, builder in systems:
-        for r in levels:
-            n_clients = max(r, 1)
-            for size in sizes:
-                key = "hot-object"
-                # Full workload: 1 putter + (R-1) getters.
-                cluster = builder(r, n_clients)
-
-                def driver(sim, cluster=cluster):
-                    res = yield hot_object_clients(
-                        cluster.clients[0], cluster.clients[1:], sim, key, size, n_ops
-                    )
-                    return res
-
-                res = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
-                combined = Tally("combined")
-                for t in (res["put"], res["get"]):
-                    for s in t.samples:
-                        combined.observe(s)
-                # Marker: the same run without the put client.
-                cluster2 = builder(r, n_clients)
-
-                def marker_driver(sim, cluster=cluster2):
-                    res = yield hot_object_clients(
-                        cluster.clients[0], cluster.clients[1:], sim, key, size,
-                        n_ops, include_put=False,
-                    )
-                    return res
-
-                marker = run_to_completion(
-                    cluster2, cluster2.sim.process(marker_driver(cluster2.sim))
-                )
-                result.add(
-                    system=system, replication=r, size_bytes=size, clients=n_clients,
-                    op_ms=combined.mean * 1e3, stdev_ms=combined.stdev * 1e3,
-                    get_only_ms=marker["get"].mean * 1e3 if marker["get"].count else 0.0,
-                )
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(
         f"{n_ops} ops per client; clients scale with R (weak scaling); "
         "markers = get-only workload"
@@ -349,44 +451,105 @@ def fig10_load_balancing(
 
 
 # -------------------------------------------------------------------- Fig 11
-def fig11_fault_tolerance(
-    duration: float = 120.0, fail_at: float = 30.0, recover_at: float = 90.0
-) -> ExperimentResult:
-    """Fig 11: served put/get requests per second across a secondary
-    failure (30 s) and recovery (90 s)."""
-    cluster = build_nice(n_storage_nodes=15, n_clients=3)
+def fig11_cell(duration: float, fail_at: float, recover_at: float, seed: int) -> Dict:
+    """The Fig 11 fault timeline (one cell: a single 120 s scenario)."""
+    cluster = build_nice(n_storage_nodes=15, n_clients=3, seed=seed)
     partition = 0
     keys = keys_in_partition(partition, cluster.config.n_partitions, 64)
     res = run_fault_timeline(
         cluster, keys, fail_at=fail_at, recover_at=recover_at, duration=duration
     )
-    result = ExperimentResult(
-        "fig11",
-        "Fault Tolerance — served requests/s across failure and recovery",
-        ["t_s", "puts_per_s", "gets_per_s", "failed_puts_per_s"],
-    )
     puts = dict(res.put_rate.series(duration))
     gets = dict(res.get_rate.series(duration))
     fails = dict(res.failed_puts.series(duration))
-    for t in sorted(set(puts) | set(gets) | set(fails)):
-        result.add(
+    rows = [
+        dict(
             t_s=t,
             puts_per_s=puts.get(t, 0.0),
             gets_per_s=gets.get(t, 0.0),
             failed_puts_per_s=fails.get(t, 0.0),
         )
-    for when, label in res.events:
-        result.note(f"t={when:.2f}s: {label}")
+        for t in sorted(set(puts) | set(gets) | set(fails))
+    ]
+    notes = [f"t={when:.2f}s: {label}" for when, label in res.events]
+    return {"rows": rows, "notes": notes}
+
+
+def fig11_fault_tolerance(
+    duration: float = 120.0,
+    fail_at: float = 30.0,
+    recover_at: float = 90.0,
+    seed: int = BASE_SEED,
+) -> ExperimentResult:
+    """Fig 11: served put/get requests per second across a secondary
+    failure (30 s) and recovery (90 s)."""
+    result = ExperimentResult(
+        "fig11",
+        "Fault Tolerance — served requests/s across failure and recovery",
+        ["t_s", "puts_per_s", "gets_per_s", "failed_puts_per_s"],
+    )
+    cells = [
+        Cell(
+            fig11_cell,
+            dict(duration=duration, fail_at=fail_at, recover_at=recover_at),
+            seed=seed,
+        )
+    ]
+    (payload,) = run_cells(cells)
+    result.rows.extend(payload["rows"])
+    for note in payload["notes"]:
+        result.note(note)
     result.note("3 clients, 20/80 put/get, 1 KB objects, one partition")
     return result
 
 
 # -------------------------------------------------------------------- Fig 12
+def fig12_cell(
+    workload: str,
+    system: str,
+    n_ops_per_client: int,
+    n_clients: int,
+    n_records: int,
+    seed: int,
+) -> Dict:
+    """One Fig 12 leg: YCSB workload × system."""
+    # Per-request server cost calibrated to the testbed regime (C++ on the
+    # ARMv8 nodes): chosen so workload C reproduces the paper's 1.6x gap to
+    # primary-only; the default 25us (used by the latency figures) models a
+    # much faster request path and underplays hot-node saturation.
+    cpu = 150e-6
+    build_system = "NOOB 2PC (gateway)" if system == "NOOB 2PC" else system
+    cluster = _build_leg(
+        build_system, n_storage_nodes=15, n_clients=n_clients,
+        node_cpu_per_op_s=cpu, seed=seed,
+    )
+    runner = YcsbRunner(
+        WORKLOADS[workload],
+        n_records=n_records,
+        rng=np.random.default_rng(cluster.config.seed),
+    )
+    proc = runner.run(cluster.clients[:n_clients], cluster.sim, n_ops_per_client)
+    stats = run_to_completion(cluster, proc)
+    return {
+        "rows": [
+            dict(
+                workload=workload,
+                system=system,
+                throughput_ops_s=stats["throughput_ops_s"],
+                mean_op_ms=runner.op_latency.mean * 1e3,
+                stdev_ms=runner.op_latency.stdev * 1e3,
+                errors=stats["errors"],
+            )
+        ]
+    }
+
+
 def fig12_ycsb(
     n_ops_per_client: int = 20000,
     n_clients: int = 10,
     n_records: int = 1000,
     workloads: Sequence[str] = ("C", "F"),
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """Fig 12: YCSB workloads C (read-only) and F (read-modify-write),
     zipfian popularity, 1 KB objects."""
@@ -395,40 +558,20 @@ def fig12_ycsb(
         "Yahoo Benchmark — throughput (ops/s) under YCSB C and F",
         ["workload", "system", "throughput_ops_s", "mean_op_ms", "stdev_ms", "errors"],
     )
-    # Per-request server cost calibrated to the testbed regime (C++ on the
-    # ARMv8 nodes): chosen so workload C reproduces the paper's 1.6x gap to
-    # primary-only; the default 25us (used by the latency figures) models a
-    # much faster request path and underplays hot-node saturation.
-    cpu = 150e-6
-    systems = [
-        ("NICE", lambda: build_nice(
-            n_storage_nodes=15, n_clients=n_clients, node_cpu_per_op_s=cpu)),
-        ("NOOB primary-only", lambda: build_noob(
-            n_storage_nodes=15, n_clients=n_clients,
-            access="rac", consistency="primary", node_cpu_per_op_s=cpu)),
-        # The paper's 2PC configuration load-balances via a gateway.
-        ("NOOB 2PC", lambda: build_noob(
-            n_storage_nodes=15, n_clients=n_clients,
-            access="rag", consistency="2pc", node_cpu_per_op_s=cpu)),
+    cells = [
+        Cell(
+            fig12_cell,
+            dict(
+                workload=wl, system=system, n_ops_per_client=n_ops_per_client,
+                n_clients=n_clients, n_records=n_records,
+            ),
+            seed=seed,
+        )
+        for wl in workloads
+        for system in ("NICE", "NOOB primary-only", "NOOB 2PC")
     ]
-    for wl_name in workloads:
-        for system, builder in systems:
-            cluster = builder()
-            runner = YcsbRunner(
-                WORKLOADS[wl_name],
-                n_records=n_records,
-                rng=np.random.default_rng(cluster.config.seed),
-            )
-            proc = runner.run(cluster.clients[:n_clients], cluster.sim, n_ops_per_client)
-            stats = run_to_completion(cluster, proc)
-            result.add(
-                workload=wl_name,
-                system=system,
-                throughput_ops_s=stats["throughput_ops_s"],
-                mean_op_ms=runner.op_latency.mean * 1e3,
-                stdev_ms=runner.op_latency.stdev * 1e3,
-                errors=stats["errors"],
-            )
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
     result.note(
         f"{n_clients} clients x {n_ops_per_client} ops, {n_records} records, "
         "1 KB objects, zipfian"
@@ -437,11 +580,46 @@ def fig12_ycsb(
 
 
 # ----------------------------------------------------------------------- §4.6
+def sec46_cell(
+    measured_nodes: Sequence[int],
+    analytic_nodes: Sequence[int],
+    table_capacity: int,
+    replication: int,
+    seed: int,
+) -> Dict:
+    """§4.6 forwarding-table usage (one cell: the scalability table)."""
+    rows: List[Dict] = []
+    for n in measured_nodes:
+        for lb in (False, True):
+            cluster = build_nice(
+                n_storage_nodes=n, n_clients=2, n_partitions=n, load_balancing=lb,
+                seed=seed,
+            )
+            entries = cluster.controller.rule_count()
+            rows.append(
+                dict(
+                    nodes=n, load_balancing=lb, entries=entries,
+                    source="measured", fits_128k_table=entries <= table_capacity,
+                )
+            )
+    for n in analytic_nodes:
+        for lb in (False, True):
+            entries = (replication + 1) * n if lb else 2 * n  # paper's formula
+            rows.append(
+                dict(
+                    nodes=n, load_balancing=lb, entries=entries,
+                    source="analytic", fits_128k_table=entries <= table_capacity,
+                )
+            )
+    return {"rows": rows}
+
+
 def sec46_switch_scalability(
     measured_nodes: Sequence[int] = (8, 16),
     analytic_nodes: Sequence[int] = (1024, 4096, 16384, 32768, 65536),
     table_capacity: int = 128 * 1024,
     replication: int = 3,
+    seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """§4.6: forwarding-table usage — 2N entries without LB, (R+1)N with —
     measured on real controllers for small N, analytic for large N."""
@@ -450,23 +628,19 @@ def sec46_switch_scalability(
         "Switch Scalability — forwarding entries vs cluster size",
         ["nodes", "load_balancing", "entries", "source", "fits_128k_table"],
     )
-    for n in measured_nodes:
-        for lb in (False, True):
-            cluster = build_nice(
-                n_storage_nodes=n, n_clients=2, n_partitions=n, load_balancing=lb
-            )
-            entries = cluster.controller.rule_count()
-            result.add(
-                nodes=n, load_balancing=lb, entries=entries,
-                source="measured", fits_128k_table=entries <= table_capacity,
-            )
-    for n in analytic_nodes:
-        for lb in (False, True):
-            entries = (replication + 1) * n if lb else 2 * n  # paper's formula
-            result.add(
-                nodes=n, load_balancing=lb, entries=entries,
-                source="analytic", fits_128k_table=entries <= table_capacity,
-            )
+    cells = [
+        Cell(
+            sec46_cell,
+            dict(
+                measured_nodes=list(measured_nodes),
+                analytic_nodes=list(analytic_nodes),
+                table_capacity=table_capacity, replication=replication,
+            ),
+            seed=seed,
+        )
+    ]
+    (payload,) = run_cells(cells)
+    result.rows.extend(payload["rows"])
     result.note(
         "paper counts 2N / (R+1)N; this controller keeps one extra "
         "default-to-primary rule (§4.5 fallback) and one IP-multicast-group "

@@ -29,10 +29,11 @@ from ..net import FlowTable, IPv4Address, IPv4Network, Match, Output, Packet, Pr
 from ..sim import AllOf, AnyOf, Simulator
 from ..workloads import closed_loop_puts
 from .harness import build_nice, run_to_completion
+from .parallel import provenance
 
 __all__ = ["run_suite", "format_report", "DEFAULT_OUT"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUT = "BENCH_perf.json"
 
 #: Environment escape hatch honored by FlowTable (see flowtable.py).
@@ -201,12 +202,15 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         kernel = bench_kernel_churn()
         lookup = bench_switch_lookup()
         fig5 = bench_fig5_put_leg()
+    # The perf suite deliberately bypasses the cell cache: its payload is
+    # host wall-clock, which a cached result would misreport.
     report = {
         "schema_version": SCHEMA_VERSION,
         "generated_unix": time.time(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "smoke": smoke,
+        "provenance": provenance(),
         "benches": {
             "kernel_churn": kernel,
             "switch_lookup": lookup,

@@ -1,5 +1,7 @@
 """Tests for the bench harness plumbing and the CLI."""
 
+import json
+
 import pytest
 
 from repro.bench import build_nice, build_noob, run_to_completion
@@ -54,12 +56,67 @@ def test_run_to_completion_detects_drained_sim():
 
 def test_cli_unknown_experiment_errors():
     with pytest.raises(SystemExit):
-        main(["no-such-figure"])
+        main(["no-such-figure", "--no-cache", "--figures-out", "-"])
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["sec46", "--jobs", "0", "--no-cache", "--figures-out", "-"])
 
 
 def test_cli_runs_sec46(capsys):
-    rc = main(["sec46"])
+    rc = main(["sec46", "--jobs", "1", "--no-cache", "--figures-out", "-"])
     assert rc == 0
     out = capsys.readouterr().out
     assert "sec46" in out
     assert "65,536" in out or "65536" in out
+
+
+def test_cli_writes_figures_report_with_provenance(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_figures.json"
+    rc = main(["sec46", "--jobs", "1", "--no-cache", "--figures-out", str(out_path)])
+    assert rc == 0
+    report = json.loads(out_path.read_text())
+    assert report["suite"] == "figures"
+    prov = report["provenance"]
+    assert prov["jobs"] == 1 and prov["ops"] == 100
+    assert prov["cells"] == 1 and prov["cache_hits"] == 0
+    assert prov["python"] and prov["git_sha"]
+    (exp,) = report["experiments"]
+    assert exp["name"] == "sec46"
+    assert exp["rows"] and exp["cells"][0]["cache_hit"] is False
+
+
+def test_cli_uses_cache_on_second_run(tmp_path, capsys):
+    argv = [
+        "sec46", "--jobs", "1",
+        "--cache-dir", str(tmp_path / "bc"),
+        "--figures-out", str(tmp_path / "out.json"),
+    ]
+    assert main(argv) == 0
+    first = json.loads((tmp_path / "out.json").read_text())
+    assert main(argv) == 0
+    second = json.loads((tmp_path / "out.json").read_text())
+    assert first["experiments"][0]["rows"] == second["experiments"][0]["rows"]
+    assert second["provenance"]["cache_hits"] == 1
+
+
+def test_cli_memoizes_shared_fig5_6_7_sweep(tmp_path, monkeypatch, capsys):
+    """fig5 fig6 fig7 must run the shared replication sweep exactly once."""
+    from repro.bench import figures
+    from repro.bench import __main__ as cli
+
+    calls = []
+    real = figures.fig5_6_7_replication
+
+    def counting(n_ops=1000, **kw):
+        calls.append(n_ops)
+        return real(n_ops=3, sizes=(1024,))
+
+    monkeypatch.setattr(cli.figures, "fig5_6_7_replication", counting)
+    rc = main(["fig5", "fig6", "fig7", "--ops", "3", "--no-cache",
+               "--figures-out", str(tmp_path / "out.json")])
+    assert rc == 0
+    assert len(calls) == 1
+    report = json.loads((tmp_path / "out.json").read_text())
+    assert [e["name"] for e in report["experiments"]] == ["fig5", "fig6", "fig7"]

@@ -94,3 +94,54 @@ def test_ascii_chart_flat_series():
 
     chart = ascii_chart({"flat": [(0, 5.0), (10, 5.0)]})
     assert "*" in chart
+
+
+def test_ascii_chart_series_with_empty_point_list():
+    from repro.bench import ascii_chart
+
+    # A labeled series with no points must not crash the span math.
+    assert "(no data)" in ascii_chart({"a": []}, title="t")
+    chart = ascii_chart({"a": [], "b": [(0, 1.0), (1, 2.0)]})
+    assert "o" in chart  # 'b' keeps its own (second) marker
+    assert "o=b" in chart
+
+
+def test_ascii_chart_single_point_series():
+    from repro.bench import ascii_chart
+
+    chart = ascii_chart({"one": [(3.0, 7.0)]}, width=20, height=6)
+    lines = chart.splitlines()
+    grid = "\n".join(lines[:-3])  # rows above the axis/x-label/legend lines
+    # Degenerate x and y spans: exactly one marker, and the axis labels
+    # still show the point's coordinates instead of dividing by zero.
+    assert grid.count("*") == 1
+    assert "7" in lines[0]  # y-max label
+    assert "3" in lines[-2]  # x-axis label line
+
+
+def test_ascii_chart_all_equal_values():
+    from repro.bench import ascii_chart
+
+    chart = ascii_chart({"a": [(0, 2.5), (1, 2.5), (2, 2.5)]}, width=30, height=5)
+    # Zero y-span: every point renders on one row, no ZeroDivisionError.
+    grid_lines = chart.splitlines()[:-3]  # exclude axis/x-label/legend
+    marked = [l for l in grid_lines if "*" in l]
+    assert len(marked) == 1
+    assert marked[0].count("*") == 3
+
+
+def test_column_where_filter_edge_cases():
+    from repro.bench import ExperimentResult
+
+    r = ExperimentResult("x", "d", ["system", "v"])
+    assert r.column("v") == []  # no rows at all
+    assert r.column("v", where={"system": "NICE"}) == []
+    r.add(system="NICE", v=1.0)
+    r.add(system="NOOB", v=2.0)
+    # A where-key absent from the rows matches nothing.
+    assert r.column("v", where={"missing_col": 1}) == []
+    # A missing value column yields None per matching row.
+    assert r.column("missing_col", where={"system": "NICE"}) == [None]
+    # Multi-key filters AND together.
+    assert r.column("v", where={"system": "NOOB", "v": 2.0}) == [2.0]
+    assert r.column("v", where={"system": "NOOB", "v": 1.0}) == []
