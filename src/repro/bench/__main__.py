@@ -24,6 +24,7 @@ import sys
 import time
 
 from . import ablations, figures, parallel
+from ..obs import runtime as obs_runtime
 from .report import ascii_chart, format_result, ratio_summary
 
 #: Default path of the figure-suite JSON report.
@@ -165,17 +166,38 @@ def main(argv=None) -> int:
         "--chaos-out", default=None, metavar="PATH",
         help="chaos suite only: output JSON path (default BENCH_chaos.json)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a sim-time trace of every cluster built during the "
+             "run; written as Chrome trace JSON (open in chrome://tracing "
+             "or Perfetto), or JSONL if PATH ends in .jsonl.  Forces "
+             "--jobs 1 and --no-cache (tracers live in this process; a "
+             "cached cell would leave a hole in the trace)",
+    )
     args = parser.parse_args(argv)
     n_ops = 1000 if args.full else args.ops
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.trace:
+        if args.jobs is not None and args.jobs != 1:
+            print(f"--trace: overriding --jobs {args.jobs} -> 1", file=sys.stderr)
+        jobs = 1
+        cache_dir = None
+        obs_runtime.start(args.trace)
     prior_config = parallel.configure(jobs=jobs, cache_dir=cache_dir)
     try:
         return _run(parser, args, n_ops, jobs)
     finally:
         parallel.configure(**prior_config)
+        session = obs_runtime.stop()
+        if session is not None and session.tracers:
+            summary = session.export()
+            print(
+                f"wrote {summary['path']} ({summary['format']} trace, "
+                f"{summary['events']} events from {summary['runs']} runs)"
+            )
 
 
 def _run(parser, args, n_ops: int, jobs: int) -> int:
@@ -252,12 +274,20 @@ def _run(parser, args, n_ops: int, jobs: int) -> int:
             }
         )
     if experiments and args.figures_out != "-":
+        prov = parallel.provenance(
+            records=all_cells, ops=n_ops, jobs=jobs, full=args.full
+        )
+        session = obs_runtime.current()
+        if session is not None:
+            prov["trace"] = {
+                "path": session.path,
+                "runs": len(session.tracers),
+                "events": session.total_events,
+            }
         report = {
             "schema_version": 1,
             "suite": "figures",
-            "provenance": parallel.provenance(
-                records=all_cells, ops=n_ops, jobs=jobs, full=args.full
-            ),
+            "provenance": prov,
             "experiments": experiments,
         }
         with open(args.figures_out, "w") as fh:

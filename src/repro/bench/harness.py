@@ -7,6 +7,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..core import ClusterConfig, NiceCluster
 from ..noob import NoobCluster, NoobConfig
+from ..obs import runtime as obs_runtime
 
 __all__ = ["ExperimentResult", "build_nice", "build_noob", "run_to_completion"]
 
@@ -45,6 +46,10 @@ def build_nice(**overrides) -> NiceCluster:
     cfg = ClusterConfig(**overrides)
     cluster = NiceCluster(cfg)
     cluster.warm_up()
+    # Under `--trace` a session is open and every built cluster gets a
+    # tracer (after warm-up, so traces carry measurement traffic only);
+    # otherwise this is a no-op and sim.tracer stays None.
+    obs_runtime.attach(cluster.sim, label=_trace_label("NICE", overrides))
     return cluster
 
 
@@ -53,7 +58,13 @@ def build_noob(**overrides) -> NoobCluster:
     cfg = NoobConfig(**overrides)
     cluster = NoobCluster(cfg)
     cluster.warm_up()
+    obs_runtime.attach(cluster.sim, label=_trace_label("NOOB", overrides))
     return cluster
+
+
+def _trace_label(system: str, overrides: dict) -> str:
+    params = " ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+    return f"{system} {params}" if params else system
 
 
 def run_to_completion(cluster, process, horizon_s: float = MAX_HORIZON_S):

@@ -9,6 +9,9 @@ Three benches cover the three layers of the simulator fast path:
   N installed rules, exact-match cache on vs off.
 * ``fig5_put_leg`` — an end-to-end fig5-style put leg on a warmed NICE
   cluster, cache on vs off, asserting the results are bit-identical.
+* ``trace_overhead`` — the same leg with a live tracer vs the null
+  tracer, asserting tracing changes wall-clock only, never results
+  (the obs-layer determinism contract, DESIGN.md §5e).
 
 ``python -m repro.bench perf`` runs the suite and writes ``BENCH_perf.json``
 (schema documented in EXPERIMENTS.md) so every future PR has a perf
@@ -26,6 +29,7 @@ import time
 from typing import Optional
 
 from ..net import FlowTable, IPv4Address, IPv4Network, Match, Output, Packet, Proto, Rule
+from ..obs import install as install_tracer
 from ..sim import AllOf, AnyOf, Simulator
 from ..workloads import closed_loop_puts
 from .harness import build_nice, run_to_completion
@@ -33,7 +37,7 @@ from .parallel import provenance
 
 __all__ = ["run_suite", "format_report", "DEFAULT_OUT"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_OUT = "BENCH_perf.json"
 
 #: Environment escape hatch honored by FlowTable (see flowtable.py).
@@ -134,7 +138,7 @@ def bench_switch_lookup(
 E2E_PARTITIONS = 128
 
 
-def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool) -> dict:
+def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool, traced: bool = False) -> dict:
     prior = os.environ.get(DISABLE_ENV)
     os.environ[DISABLE_ENV] = "1" if disable_cache else "0"
     try:
@@ -142,6 +146,7 @@ def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool) -> dict:
         cluster = build_nice(
             n_storage_nodes=15, n_clients=1, n_partitions=E2E_PARTITIONS
         )
+        tracer = install_tracer(cluster.sim, label="perf") if traced else None
         client = cluster.clients[0]
         key = f"perf-{size}"
 
@@ -158,7 +163,7 @@ def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool) -> dict:
             os.environ.pop(DISABLE_ENV, None)
         else:
             os.environ[DISABLE_ENV] = prior
-    return {
+    out = {
         "wall_s": wall,
         "ops_per_s": n_ops / wall if wall > 0 else None,
         "sim_time_s": cluster.sim.now,
@@ -166,6 +171,9 @@ def _run_fig5_leg(n_ops: int, size: int, disable_cache: bool) -> dict:
         "put_count": tally.count,
         "installed_rules": len(cluster.switch.table),
     }
+    if tracer is not None:
+        out["trace_events"] = len(tracer.events)
+    return out
 
 
 def bench_fig5_put_leg(n_ops: int = 400, size: int = 1 << 12) -> dict:
@@ -187,6 +195,31 @@ def bench_fig5_put_leg(n_ops: int = 400, size: int = 1 << 12) -> dict:
     }
 
 
+def bench_trace_overhead(n_ops: int = 400, size: int = 1 << 12) -> dict:
+    """Fig5-style put leg, null tracer vs live tracer.
+
+    The simulated results (latency, sim time, op count) must be
+    bit-identical — the tracer only appends to a list, never schedules —
+    so ``overhead`` isolates the wall-clock cost of tracing.
+    """
+    untraced = _run_fig5_leg(n_ops, size, disable_cache=False)
+    traced = _run_fig5_leg(n_ops, size, disable_cache=False, traced=True)
+    identical = (
+        traced["put_ms"] == untraced["put_ms"]
+        and traced["sim_time_s"] == untraced["sim_time_s"]
+        and traced["put_count"] == untraced["put_count"]
+    )
+    return {
+        "n_ops": n_ops,
+        "size_bytes": size,
+        "untraced": untraced,
+        "traced": traced,
+        "trace_events": traced["trace_events"],
+        "overhead": traced["wall_s"] / untraced["wall_s"],
+        "results_identical": identical,
+    }
+
+
 # ----------------------------------------------------------------- driver
 def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dict:
     """Run every bench; write ``out_path`` (unless None); return the report."""
@@ -198,10 +231,12 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         kernel = bench_kernel_churn(n_procs=16, rounds=40)
         lookup = bench_switch_lookup(n_rules=1000, n_lookups=3000)
         fig5 = bench_fig5_put_leg(n_ops=40)
+        trace = bench_trace_overhead(n_ops=40)
     else:
         kernel = bench_kernel_churn()
         lookup = bench_switch_lookup()
         fig5 = bench_fig5_put_leg()
+        trace = bench_trace_overhead()
     # The perf suite deliberately bypasses the cell cache: its payload is
     # host wall-clock, which a cached result would misreport.
     report = {
@@ -215,6 +250,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
             "kernel_churn": kernel,
             "switch_lookup": lookup,
             "fig5_put_leg": fig5,
+            "trace_overhead": trace,
         },
     }
     if out_path:
@@ -227,6 +263,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
 def format_report(report: dict) -> str:
     b = report["benches"]
     k, l, f = b["kernel_churn"], b["switch_lookup"], b["fig5_put_leg"]
+    t = b.get("trace_overhead")
     lines = [
         f"perf suite (schema v{report['schema_version']},"
         f" smoke={report['smoke']}, python {report['python']})",
@@ -240,4 +277,10 @@ def format_report(report: dict) -> str:
         f" {f['uncached']['wall_s']:.3f}s uncached -> {f['speedup']:.2f}x,"
         f" identical={f['results_identical']}",
     ]
+    if t is not None:
+        lines.append(
+            f"  trace_overhead : {t['overhead']:.2f}x wall with live tracer"
+            f" ({t['trace_events']} events),"
+            f" identical={t['results_identical']}"
+        )
     return "\n".join(lines)

@@ -64,6 +64,11 @@ class ChaosEngine:
 
     def _mark(self, label: str) -> None:
         self.events.append((float(self.sim.now), label))
+        tr = self.sim.tracer
+        if tr is not None:
+            # Fault markers render as global instants so injected faults
+            # are visible inline across the whole trace timeline.
+            tr.instant(label, "fault", node="chaos")
 
     def _stream(self) -> np.random.Generator:
         """A fresh deterministic rng for the event being fired."""

@@ -116,8 +116,16 @@ class NiceClient:
         t0 = self.sim.now
         client_ts = self.sim.now  # reused across retries: idempotence token
         vaddr = self.mc.vnode_for_key(key)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("vnode_resolve", "client", node=self.host.name,
+                       key=key, vnode=str(vaddr), kind="put")
         for attempt in range(max_retries + 1):
             op_id = self._new_op()
+            span = None
+            if tr is not None:
+                span = tr.begin("put", "op", node=self.host.name, op=op_id,
+                                key=key, attempt=attempt)
             waiter = Event(self.sim)
             self._waiters[op_id] = waiter
             self.mc_sender.send(
@@ -141,20 +149,42 @@ class NiceClient:
                 self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
             )
             self._waiters.pop(op_id, None)
-            if waiter in got and got[waiter].get("status") == "ok":
+            replied = waiter in got
+            if replied and got[waiter].get("status") == "ok":
                 latency = self.sim.now - t0
                 self.put_latency.observe(latency)
+                if span is not None:
+                    span.end(status="ok")
                 return OpResult(True, latency, attempt)
+            if span is not None:
+                span.end(
+                    status=got[waiter].get("status", "error") if replied
+                    else "timeout"
+                )
             if attempt < max_retries:
                 self.retries.add()
+                if replied:
+                    # A rejection (e.g. an aborted 2PC) arrives well before
+                    # the retry timeout fires; without this wait the client
+                    # re-multicasts in the same sim instant, so a rejecting
+                    # replica set sees max_retries+1 puts in zero sim time.
+                    yield self.sim.timeout(self.config.client_retry_timeout_s)
         self.failures.add()
         return OpResult(False, self.sim.now - t0, max_retries, status="timeout")
 
     def _get(self, key: str, max_retries: int):
         t0 = self.sim.now
         vaddr = self.uni.vnode_for_key(key)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("vnode_resolve", "client", node=self.host.name,
+                       key=key, vnode=str(vaddr), kind="get")
         for attempt in range(max_retries + 1):
             op_id = self._new_op()
+            span = None
+            if tr is not None:
+                span = tr.begin("get", "op", node=self.host.name, op=op_id,
+                                key=key, attempt=attempt)
             waiter = Event(self.sim)
             self._waiters[op_id] = waiter
             self.stack.udp_send(
@@ -173,15 +203,34 @@ class NiceClient:
                 self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
             )
             self._waiters.pop(op_id, None)
-            if waiter in got:
+            replied = waiter in got
+            if replied:
                 body = got[waiter]
+                status = body.get("status", "error")
                 latency = self.sim.now - t0
-                if body.get("status") == "ok":
+                if status == "ok":
                     self.get_latency.observe(latency)
+                    if span is not None:
+                        span.end(status="ok")
                     return OpResult(True, latency, attempt, value=body.get("value"))
-                return OpResult(False, latency, attempt, status=body.get("status", "error"))
+                if status == "miss":
+                    # An authoritative miss is an answer (the checker reads
+                    # it as "initial value"), not a failure to reach the
+                    # store — returned as-is, no retry.
+                    if span is not None:
+                        span.end(status="miss")
+                    return OpResult(False, latency, attempt, status="miss")
+            if span is not None:
+                span.end(
+                    status=got[waiter].get("status", "error") if replied
+                    else "timeout"
+                )
             if attempt < max_retries:
                 self.retries.add()
+                if replied:
+                    # Mirror of _put: an early error reply must still honor
+                    # the fixed back-off before the next attempt.
+                    yield self.sim.timeout(self.config.client_retry_timeout_s)
         self.failures.add()
         return OpResult(False, self.sim.now - t0, max_retries, status="timeout")
 
@@ -189,7 +238,12 @@ class NiceClient:
         t0 = self.sim.now
         vaddr = self.mc.vnode_for_key(key)
         op_id = self._new_op()
-        acks = yield self.mc_sender.send(
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("put_anyk", "op", node=self.host.name, op=op_id,
+                            key=key, quorum=quorum)
+        sender = self.mc_sender.send(
             vaddr,
             PUT_PORT,
             {
@@ -206,6 +260,20 @@ class NiceClient:
             n_receivers=self.config.replication_level,
             quorum=quorum,
         )
+        # Same timeout contract as _put: if quorum replicas are unreachable
+        # (crash/partition) the reliable multicast never completes — without
+        # this bound the op would hang forever and still report ok=True.
+        got = yield AnyOf(
+            self.sim, [sender, self.sim.timeout(self.config.client_retry_timeout_s)]
+        )
+        if sender not in got:
+            self.failures.add()
+            if span is not None:
+                span.end(status="timeout")
+            return OpResult(False, self.sim.now - t0, 0, status="timeout")
+        acks = got[sender]
         latency = self.sim.now - t0
         self.put_latency.observe(latency)
+        if span is not None:
+            span.end(status="ok", acks=len(acks))
         return OpResult(True, latency, 0, value=len(acks))

@@ -46,6 +46,10 @@ from .vring import VirtualRing, mc_group_address
 
 __all__ = ["NiceStorageNode"]
 
+#: Poll cadence while a partition snapshot waits for in-flight 2PC ops to
+#: resolve (the §4.4 catch-up/commit race) — well under one commit round.
+FETCH_DRAIN_POLL_S = 100e-6
+
 
 @dataclass
 class _PendingPut:
@@ -113,6 +117,10 @@ class NiceStorageNode:
         self._get_inbox = self.stack.udp_bind(GET_PORT)
         self._node_inbox = self.stack.tcp.listen(NODE_PORT)
         self._pending: Dict[Tuple, _PendingPut] = {}
+        #: Per-partition ops between multicast arrival and `_pending`
+        #: registration (CPU/lock/log/disk stages of the prepare).  Rejoin
+        #: snapshots drain these so a mid-prepare put is never lost.
+        self._preparing: Dict[int, Set[Tuple]] = {}
         self._coord: Dict[Tuple, _Coordination] = {}
         #: Acks that raced ahead of the primary's own prepare (its disk can
         #: queue behind concurrent gets); drained when the coord is created.
@@ -183,6 +191,7 @@ class NiceStorageNode:
         self.host.fail()
         self.locks.clear()
         self._pending.clear()
+        self._preparing.clear()
         self._coord.clear()
         self._early_acks.clear()
         self._recently_committed.clear()
@@ -225,44 +234,65 @@ class NiceStorageNode:
         key = body["key"]
         if op_id in self._pending or op_id in self._recently_committed:
             return  # duplicate delivery of a retried put
-        yield from self._cpu_work()
-        # Lock; contended writers queue FIFO — grant order equals multicast
-        # arrival order, which the switch makes identical on every replica.
-        yield self.locks.request(self.sim, key, op_id)
-        if op_id in self._aborted or op_id in self._recently_committed:
-            # Aborted (or already force-committed) while we queued.
-            self.locks.release(key, op_id)
-            return
-        # +L then W (Fig 3): the log append carries the flush; the object
-        # write needs ordering but not a second fsync (group commit — the
-        # durable log record already covers the operation).
-        yield self.wal.append(
-            LogRecord(
-                op_id,
-                key,
-                body["size"],
-                body["client_ip"],
-                body["client_ts"],
-                value=body["value"],
-                client_port=body["client_port"],
-                partition=partition,
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("2pc.prepare", "2pc", node=self.name, op=op_id,
+                            role=my_role, key=key)
+        # Mark the op visible to rejoin snapshots *now*: between arrival
+        # and `_pending` registration it sits in CPU/lock/log/disk stages
+        # where a concurrently-taken catch-up snapshot would miss it.
+        self._preparing.setdefault(partition, set()).add(op_id)
+        try:
+            yield from self._cpu_work()
+            # Lock; contended writers queue FIFO — grant order equals
+            # multicast arrival order, which the switch makes identical on
+            # every replica.
+            yield self.locks.request(self.sim, key, op_id)
+            if op_id in self._aborted or op_id in self._recently_committed:
+                # Aborted (or already force-committed) while we queued.
+                self.locks.release(key, op_id)
+                if span is not None:
+                    span.end(status="raced")
+                return
+            # +L then W (Fig 3): the log append carries the flush; the
+            # object write needs ordering but not a second fsync (group
+            # commit — the durable log record already covers the op).
+            yield self.wal.append(
+                LogRecord(
+                    op_id,
+                    key,
+                    body["size"],
+                    body["client_ip"],
+                    body["client_ts"],
+                    value=body["value"],
+                    client_port=body["client_port"],
+                    partition=partition,
+                )
             )
-        )
-        yield self.disk.write(body["size"], forced=False)
-        if not self.host.up:
-            return  # crashed mid-prepare: the process dies with the node
-        pend = _PendingPut(
-            op_id=op_id,
-            partition=partition,
-            key=key,
-            value=body["value"],
-            size=body["size"],
-            client_ip=body["client_ip"],
-            client_ts=body["client_ts"],
-            client_port=body["client_port"],
-            role=my_role,
-        )
-        self._pending[op_id] = pend
+            yield self.disk.write(body["size"], forced=False)
+            if not self.host.up:
+                if span is not None:
+                    span.end(status="crashed")
+                return  # crashed mid-prepare: the process dies with the node
+            pend = _PendingPut(
+                op_id=op_id,
+                partition=partition,
+                key=key,
+                value=body["value"],
+                size=body["size"],
+                client_ip=body["client_ip"],
+                client_ts=body["client_ts"],
+                client_port=body["client_port"],
+                role=my_role,
+            )
+            self._pending[op_id] = pend
+        finally:
+            pre = self._preparing.get(partition)
+            if pre is not None:
+                pre.discard(op_id)
+                if not pre:
+                    del self._preparing[partition]
         self._clients_seen.setdefault(partition, set()).add(body["client_ip"])
         rs = self.replica_sets[partition]
         # The 2PC outcome may have raced our prepare (we might be a
@@ -270,7 +300,12 @@ class NiceStorageNode:
         early_stamp = self._early_commits.pop(op_id, None)
         if op_id in self._aborted:
             self._apply_abort(op_id)
+            if span is not None:
+                span.end(status="aborted")
             return
+        if span is not None:
+            span.end(status="early_commit" if early_stamp is not None
+                     else "prepared")
         if early_stamp is not None:
             self._apply_commit(op_id, early_stamp)
             if my_role != "primary":
@@ -302,11 +337,20 @@ class NiceStorageNode:
         stamp = PutStamp(str(self.ip), self.sim.now, body["client_ip"], body["client_ts"])
         self.store.put(StoredObject(body["key"], body["value"], body["size"], stamp))
         self.puts_served.add()
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("store_anyk", "op", node=self.name,
+                       op=tuple(body["op_id"]), key=body["key"])
 
     def _coordinate_put(self, pend: _PendingPut, rs: ReplicaSet):
         """Primary-side 2PC (Fig 3): gather ack1, multicast the timestamp,
         gather ack2, acknowledge the client."""
         op_id = pend.op_id
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("2pc.coordinate", "2pc", node=self.name, op=op_id,
+                            key=pend.key)
         # Phase-1 rejoiners receive puts best-effort: they are still
         # catching up and will fetch anything missed from the handoff, so
         # the operation's success must not depend on their acks (§4.4).
@@ -330,6 +374,8 @@ class NiceStorageNode:
         if not ok1:
             missing = coord.need - coord.ack1
             yield from self._abort_put(pend, missing)
+            if span is not None:
+                span.end(status="aborted", missing=sorted(missing))
             return
         stamp = PutStamp(str(self.ip), self.sim.now, pend.client_ip, pend.client_ts)
         # Nodes address the replica set's IP multicast group directly (they
@@ -341,7 +387,11 @@ class NiceStorageNode:
             {"type": "commit", "op_id": op_id, "stamp": stamp},
             COMMIT_BYTES,
         )
+        if tr is not None:
+            tr.instant("commit_mcast", "2pc", node=self.name, op=op_id)
         if not self.host.up:
+            if span is not None:
+                span.end(status="crashed")
             return  # crashed at the timestamp boundary: no local commit
         self._apply_commit(op_id, stamp)
         ok2 = yield from self._await(coord.ev2)
@@ -351,9 +401,13 @@ class NiceStorageNode:
             for peer in missing:
                 yield from self._strike(peer)
             self._reply_client(pend, status="fail")
+            if span is not None:
+                span.end(status="fail", missing=sorted(missing))
             return
         self.puts_served.add()
         self._reply_client(pend, status="ok")
+        if span is not None:
+            span.end(status="ok")
 
     def _await(self, ev: Event):
         got = yield AnyOf(self.sim, [ev, self.sim.timeout(self.config.peer_timeout_s)])
@@ -422,6 +476,9 @@ class NiceStorageNode:
             self.store.put_handoff(obj)
         else:
             self.store.put(obj)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("commit", "2pc", node=self.name, op=op_id, role=pend.role)
         self.wal.mark_committed(op_id, stamp)
         self.wal.remove(op_id)
         self.locks.release(pend.key, op_id)
@@ -437,6 +494,9 @@ class NiceStorageNode:
         self._aborted[op_id] = True
         if len(self._aborted) > 4096:
             self._aborted.pop(next(iter(self._aborted)))
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("abort", "2pc", node=self.name, op=op_id)
         pend = self._pending.pop(op_id, None)
         if pend is None:
             # Crash-surviving log record: drop it (§4.4 abort rule).
@@ -462,6 +522,11 @@ class NiceStorageNode:
                 self.sim.process(self._serve_get(body, dgram.virtual_dst))
 
     def _serve_get(self, body: dict, virtual_dst):
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("get.serve", "op", node=self.name,
+                            op=tuple(body["op_id"]), key=body["key"])
         yield from self._cpu_work()
         key = body["key"]
         if "partition" in body:
@@ -477,6 +542,8 @@ class NiceStorageNode:
             if obj is None:
                 # §4.4: handoff forwards gets for objects it never received.
                 yield from self._forward_get(partition, body)
+                if span is not None:
+                    span.end(status="forwarded")
                 return
         elif my_role is None:
             # A stale switch rule routed this get here (e.g. to a node
@@ -488,10 +555,14 @@ class NiceStorageNode:
             # else stay silent and let the client's retry find the
             # updated rules.
             yield from self._forward_get(partition, body)
+            if span is not None:
+                span.end(status="forwarded_stale")
             return
         else:
             obj = self.store.get(key)
         yield from self._reply_get(body, obj)
+        if span is not None:
+            span.end(status="ok" if obj is not None else "miss")
 
     def _forward_get(self, partition: int, body: dict):
         """Relay a get we must not answer to the partition's primary."""
@@ -635,6 +706,7 @@ class NiceStorageNode:
 
     def _on_fetch_handoff(self, msg, body: dict):
         partition = body["partition"]
+        yield from self._drain_partition_writes(partition)
         objs = [
             o
             for o in self.store.handoff_objects()
@@ -650,10 +722,39 @@ class NiceStorageNode:
             total,
         )
 
+    def _drain_partition_writes(self, partition: int):
+        """Hold a rejoin snapshot until in-flight puts for ``partition``
+        have resolved (the §4.4 catch-up/commit race).
+
+        A put fanned out *before* the joiner became put-visible has no
+        joiner in its data multicast or 2PC round; if it commits after the
+        snapshot is taken, the joiner never learns of it and serves stale
+        reads once marked consistent.  The settle delay first lets such
+        puts arrive — the switch keeps the old multicast group for up to
+        the control-plane latency after the metadata decision — then the
+        ops captured at that point (mid-prepare or pending) are waited
+        out.  Puts arriving later include the joiner and are safe to omit.
+        Bounded: unreachable participants abort theirs at the peer timeout.
+        """
+        settle = self.config.controller_latency_s + 4 * self.config.link_latency_s
+        yield self.sim.timeout(settle)
+        in_flight = {
+            op for op, p in self._pending.items() if p.partition == partition
+        }
+        in_flight |= self._preparing.get(partition, set())
+        deadline = self.sim.now + 2 * self.config.peer_timeout_s
+        while in_flight and self.host.up and self.sim.now < deadline:
+            yield self.sim.timeout(FETCH_DRAIN_POLL_S)
+            in_flight = {
+                op for op in in_flight
+                if op in self._pending or op in self._preparing.get(partition, ())
+            }
+
     def _on_fetch_partition(self, msg, body: dict):
         """Primary side of §4.4 node addition: ship every object in the
         partition's hash range to the new replica."""
         partition = body["partition"]
+        yield from self._drain_partition_writes(partition)
         objs = [
             o
             for o in self.store.objects()

@@ -195,10 +195,19 @@ class FlowTable:
     #: adversarial many-flow workloads; eviction-by-reset keeps determinism).
     CACHE_LIMIT = 65536
 
-    def __init__(self, capacity: int = 128 * 1024, cache_enabled: Optional[bool] = None):
+    def __init__(
+        self,
+        capacity: int = 128 * 1024,
+        cache_enabled: Optional[bool] = None,
+        owner=None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
+        #: The device (switch) this table belongs to, if any.  Only used to
+        #: reach ``owner.sim.tracer`` for flow-mod trace events — the table
+        #: itself has no simulator reference.
+        self.owner = owner
         self._rules: List[Rule] = []
         self.cache_enabled = (
             flow_cache_enabled_default() if cache_enabled is None else cache_enabled
@@ -229,6 +238,15 @@ class FlowTable:
         """Bumped on every mutation; the cache is valid for one generation."""
         return self._generation
 
+    def _trace_mod(self, name: str, **args) -> None:
+        """Emit a flow-mod trace event via the owning switch (if traced)."""
+        owner = self.owner
+        if owner is None:
+            return
+        tr = owner.sim.tracer
+        if tr is not None:
+            tr.instant(name, "flowtable", node=owner.name, **args)
+
     def add(self, rule: Rule) -> Rule:
         if len(self._rules) >= self.capacity:
             raise OverflowError(
@@ -236,6 +254,10 @@ class FlowTable:
             )
         insort(self._rules, rule, key=_rule_sort_key)
         self._generation += 1
+        self._trace_mod(
+            "flow_add", cookie=rule.cookie, priority=rule.priority,
+            match=str(rule.match), rules=len(self._rules),
+        )
         return rule
 
     def remove(self, rule: Rule) -> None:
@@ -245,6 +267,9 @@ class FlowTable:
             pass
         else:
             self._generation += 1
+            self._trace_mod(
+                "flow_remove", cookie=rule.cookie, rules=len(self._rules)
+            )
 
     def remove_by_cookie(self, cookie: str) -> int:
         """Delete all rules tagged with ``cookie``; returns removal count."""
@@ -253,6 +278,10 @@ class FlowTable:
         removed = before - len(self._rules)
         if removed:
             self._generation += 1
+            self._trace_mod(
+                "flow_remove_cookie", cookie=cookie, removed=removed,
+                rules=len(self._rules),
+            )
         return removed
 
     def lookup(self, packet: Packet, in_port: Optional[int] = None) -> Optional[Rule]:
@@ -297,6 +326,7 @@ class FlowTable:
         self._rules = keep
         if evicted:
             self._generation += 1
+            self._trace_mod("flow_expire", evicted=evicted, rules=len(self._rules))
         return evicted
 
 

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.tracer import packet_op
 from ..sim import Counter, Resource, Simulator
 from .packet import Packet
 
@@ -131,6 +132,12 @@ class Channel:
 
     def transmit(self, packet: Packet) -> None:
         """Start (or queue) transmission of ``packet``."""
+        tr = self.sim.tracer
+        if tr is not None and (self._busy.in_use or self._busy.queued):
+            tr.instant(
+                "queued", "link", node=self.name, op=packet_op(packet.payload),
+                depth=self._busy.queued + 1,
+            )
         self.sim.process(self._transmit(packet))
 
     def _transmit(self, packet: Packet):
@@ -142,10 +149,18 @@ class Channel:
             self.tx_packets.add()
             if self.down:
                 self.dropped_packets.add()
+                tr = self.sim.tracer
+                if tr is not None:
+                    tr.instant("drop", "link", node=self.name,
+                               op=packet_op(packet.payload), reason="down")
                 return
             if self.loss_rate and self._loss_rng is not None:
                 if self._loss_rng.random() < self.loss_rate:
                     self.dropped_packets.add()
+                    tr = self.sim.tracer
+                    if tr is not None:
+                        tr.instant("drop", "link", node=self.name,
+                                   op=packet_op(packet.payload), reason="loss")
                     return
             delay = self.latency_s
             if self.delay_jitter_s and self._jitter_rng is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.tracer import packet_op
 from ..sim import Counter, Simulator
 from .flowtable import (
     Action,
@@ -53,7 +54,7 @@ class OpenFlowSwitch(Device):
         rewrite_penalty_s: float = 0.0,
     ):
         super().__init__(sim, name)
-        self.table = FlowTable(capacity=table_capacity)
+        self.table = FlowTable(capacity=table_capacity, owner=self)
         self.groups: Dict[int, Group] = {}
         self.lookup_latency_s = lookup_latency_s
         #: Extra per-packet delay when a rule rewrites headers — 0 for the
@@ -73,11 +74,23 @@ class OpenFlowSwitch(Device):
 
     def _pipeline(self, packet: Packet, in_port_no: int) -> None:
         rule = self.table.lookup(packet, in_port_no)
+        tr = self.sim.tracer
         if rule is None:
+            if tr is not None:
+                tr.instant(
+                    "table_miss", "switch", node=self.name,
+                    op=packet_op(packet.payload), dst=str(packet.dst_ip),
+                )
             self._packet_in(packet, in_port_no)
             return
         rule.touch(packet, self.sim.now)
         packet.trace.append(self.name)
+        if tr is not None:
+            tr.instant(
+                "rule_hit", "switch", node=self.name,
+                op=packet_op(packet.payload), cookie=rule.cookie,
+                priority=rule.priority, dst=str(packet.dst_ip),
+            )
         self.apply_actions(packet, rule.actions, in_port_no)
 
     def apply_actions(self, packet: Packet, actions, in_port_no: int) -> None:
@@ -87,6 +100,13 @@ class OpenFlowSwitch(Device):
             if isinstance(action, SetIpDst):
                 if packet.virtual_dst is None:
                     packet.virtual_dst = packet.dst_ip
+                tr = self.sim.tracer
+                if tr is not None:
+                    tr.instant(
+                        "rewrite", "switch", node=self.name,
+                        op=packet_op(packet.payload),
+                        field="ip_dst", old=str(packet.dst_ip), new=str(action.ip),
+                    )
                 packet.dst_ip = action.ip
                 rewrote = True
             elif isinstance(action, SetIpSrc):
@@ -133,6 +153,13 @@ class OpenFlowSwitch(Device):
             self.dropped.add()
             return
         group.packets += 1
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant(
+                "mc_fanout", "switch", node=self.name,
+                op=packet_op(packet.payload), group=group_id,
+                buckets=len(group.buckets),
+            )
         for bucket in group.buckets:
             clone = packet.copy()
             self.apply_actions(clone, list(bucket.actions) + [Output(bucket.port)], in_port_no)

@@ -117,11 +117,16 @@ class NoobClient:
     def _op(self, kind: str, key: str, value, size: int, max_retries: int):
         t0 = self.sim.now
         client_ts = self.sim.now
+        tr = self.sim.tracer
         for attempt in range(max_retries + 1):
             op_id = (str(self.ip), next(self._op_seq))
             waiter = Event(self.sim)
             self._waiters[op_id] = waiter
             target_ip, target_port = self._request_target(key, is_get=(kind == "get"))
+            span = None
+            if tr is not None:
+                span = tr.begin(kind, "op", node=self.host.name, op=op_id,
+                                key=key, attempt=attempt, target=str(target_ip))
             body = {
                 "type": kind,
                 "op_id": op_id,
@@ -138,15 +143,31 @@ class NoobClient:
                 self.sim, [waiter, self.sim.timeout(self.config.client_retry_timeout_s)]
             )
             self._waiters.pop(op_id, None)
-            if waiter in got:
+            replied = waiter in got
+            if replied:
                 reply = got[waiter]
+                status = reply.get("status", "error")
                 latency = self.sim.now - t0
-                if reply.get("status") == "ok":
+                if status == "ok":
                     (self.put_latency if kind == "put" else self.get_latency).observe(latency)
+                    if span is not None:
+                        span.end(status="ok")
                     return OpResult(True, latency, attempt, value=reply.get("value"))
-                if kind == "get":
-                    return OpResult(False, latency, attempt, status=reply.get("status", "error"))
+                if kind == "get" and status == "miss":
+                    # Authoritative miss: an answer, not a routing failure.
+                    if span is not None:
+                        span.end(status="miss")
+                    return OpResult(False, latency, attempt, status="miss")
+            if span is not None:
+                span.end(
+                    status=got[waiter].get("status", "error") if replied
+                    else "timeout"
+                )
             if attempt < max_retries:
                 self.retries.add()
+                if replied:
+                    # Same fixed back-off as the NICE client: an early
+                    # rejection must not trigger a same-instant resend.
+                    yield self.sim.timeout(self.config.client_retry_timeout_s)
         self.failures.add()
         return OpResult(False, self.sim.now - t0, max_retries, status="timeout")

@@ -76,6 +76,13 @@ class Gateway:
             if body.get("type") in ("put", "get"):
                 self.requests_forwarded.add()
                 target = self._target_for(body["key"])
+                tr = self.sim.tracer
+                if tr is not None:
+                    tr.instant(
+                        "gw_forward", "op", node=self.host.name,
+                        op=tuple(body.get("op_id", ())) or None,
+                        kind=body["type"], target=str(target),
+                    )
                 # Forward the full request (put data transits the gateway).
                 self.stack.tcp.send_message(
                     target, NODE_PORT, dict(body), msg.payload_bytes

@@ -177,13 +177,21 @@ class NoobStorageNode:
         yield from self._cpu_work()
         key = body["key"]
         replicas = self.replicas_of(key)
+        tr = self.sim.tracer
         if replicas[0] != self.name:
             # Misdirected (ROG random node): one extra hop to the primary.
             self.forwards.add()
+            if tr is not None:
+                tr.instant("put_forward", "op", node=self.name,
+                           op=tuple(body["op_id"]), to=replicas[0])
             yield self._send(self.directory[replicas[0]], dict(body), body["size"])
             return
         secondaries = replicas[1:]
         mode = self.config.consistency
+        span = None
+        if tr is not None:
+            span = tr.begin(f"put.{mode}", "op", node=self.name,
+                            op=tuple(body["op_id"]), key=key)
         if mode == "primary":
             yield from self._put_primary_only(body, secondaries)
         elif mode == "2pc":
@@ -192,6 +200,8 @@ class NoobStorageNode:
             yield from self._put_quorum(body, secondaries)
         elif mode == "chain":
             yield from self._put_chain(body, replicas)
+        if span is not None:
+            span.end()
 
     def _stamp(self, body: dict) -> PutStamp:
         return PutStamp(str(self.ip), self.sim.now, body["client_ip"], body["client_ts"])
@@ -363,11 +373,18 @@ class NoobStorageNode:
         yield from self._cpu_work()
         op_id = tuple(body["op_id"])
         key = body["key"]
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("2pc.prepare", "2pc", node=self.name, op=op_id,
+                            key=key)
         yield self.locks.request(self.sim, key, op_id)
         yield self.wal.append(LogRecord(op_id, key, body["size"], body["client_ip"], body["client_ts"]))
         yield self.disk.write(body["size"], forced=False)  # log flush covers it
         self._pending_value = getattr(self, "_pending_value", {})
         self._pending_value[op_id] = (body["value"], body["size"])
+        if span is not None:
+            span.end(status="prepared")
         yield msg.conn.send({"type": "prepare_ack", "token": body["token"]}, ACK_BYTES)
 
     def _handle_commit2pc(self, msg, body: dict):
@@ -378,6 +395,10 @@ class NoobStorageNode:
             self.store.put(StoredObject(body["key"], value, size, body["stamp"]))
         self.wal.remove(op_id)
         self.locks.release(body["key"], op_id)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("commit", "2pc", node=self.name, op=op_id,
+                       applied=pend is not None)
         yield msg.conn.send({"type": "commit_ack", "token": body["token"]}, ACK_BYTES)
 
     def _handle_chain_put(self, body: dict):
@@ -389,6 +410,11 @@ class NoobStorageNode:
 
     # -- gets ------------------------------------------------------------------------------
     def _handle_get(self, body: dict):
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("get.serve", "op", node=self.name,
+                            op=tuple(body["op_id"]), key=body["key"])
         yield from self._cpu_work()
         key = body["key"]
         replicas = self.replicas_of(key)
@@ -401,6 +427,8 @@ class NoobStorageNode:
         if not can_serve:
             self.forwards.add()
             yield self._send(self.directory[replicas[0]], dict(body), REQUEST_BYTES)
+            if span is not None:
+                span.end(status="forwarded")
             return
         obj = self.store.get(key)
         if self.config.consistency == "quorum":
@@ -438,3 +466,5 @@ class NoobStorageNode:
             reply = {"type": "get_reply", "op_id": tuple(body["op_id"]), "status": "miss"}
             size = ACK_BYTES
         self._reply_client(body, reply, size)
+        if span is not None:
+            span.end(status=reply["status"])

@@ -1,0 +1,27 @@
+"""Observability: sim-time tracing, metrics registry, trace exporters.
+
+See DESIGN.md §5e.  The package is dependency-light by design — ``sim``
+must not import it (hooks live behind ``Simulator.tracer``, installed
+from outside), and everything here is deterministic: no wall clock, no
+randomness, no simulator objects.
+"""
+
+from .export import chrome_trace, jsonl_lines, write_chrome_trace, write_jsonl
+from .registry import MetricsRegistry
+from .tracer import Span, TraceEvent, Tracer, install, packet_op, uninstall
+from . import runtime
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "Span",
+    "install",
+    "uninstall",
+    "packet_op",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "runtime",
+]

@@ -1,0 +1,157 @@
+"""A unified, queryable tree of the simulation's metrics.
+
+Clients, storage nodes, switches and links each grow their own ad-hoc
+:class:`~repro.sim.Counter` / :class:`~repro.sim.Tally` /
+:class:`~repro.sim.RateSeries` instances.  :class:`MetricsRegistry` binds
+them into one dotted-name tree (``client.c0.put_latency``,
+``node.n3.aborts``, ``link.sw0->n3.tx_bytes``, …) without copying — the
+registry holds references, so a snapshot always reflects live state.
+
+Plain-``int`` statistics (e.g. the flow-cache hit counters) register as
+*gauges*: zero-argument callables sampled at snapshot time.
+
+Snapshots are deterministic: same cluster state → byte-identical JSON
+(names sorted, nan rendered as ``null`` by the metric ``snapshot()``
+methods).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..sim.monitor import Counter, RateSeries, Tally
+
+__all__ = ["MetricsRegistry"]
+
+#: Metric classes picked up by the attribute scan in :meth:`collect_object`.
+_METRIC_TYPES = (Counter, Tally, RateSeries)
+
+
+class MetricsRegistry:
+    """Named references to live metric objects, exported as one tree."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str, metric) -> Any:
+        """Bind ``metric`` (Counter/Tally/RateSeries) under ``name``."""
+        self._check_name(name)
+        self._metrics[name] = metric
+        return metric
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Bind a zero-arg callable sampled at snapshot time."""
+        self._check_name(name)
+        self._gauges[name] = fn
+
+    def _check_name(self, name: str) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        if name in self._metrics or name in self._gauges:
+            raise KeyError(f"metric name already registered: {name!r}")
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics) + len(self._gauges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics or name in self._gauges
+
+    def get(self, name: str):
+        if name in self._metrics:
+            return self._metrics[name]
+        return self._gauges[name]
+
+    def names(self, prefix: str = "") -> List[str]:
+        """All registered names (sorted), optionally under a dotted prefix."""
+        every = sorted([*self._metrics, *self._gauges])
+        if not prefix:
+            return every
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return [n for n in every if n == prefix or n.startswith(dotted)]
+
+    def query(self, prefix: str = "") -> Dict[str, Any]:
+        """Live metric objects under ``prefix`` (gauges appear as callables)."""
+        return {n: self.get(n) for n in self.names(prefix)}
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The metric tree as nested dicts of JSON-safe leaves."""
+        tree: Dict[str, Any] = {}
+        for name in self.names():
+            if name in self._metrics:
+                leaf = self._metrics[name].snapshot()
+            else:
+                leaf = {"type": "gauge", "value": self._gauges[name]()}
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                nxt = node.setdefault(part, {})
+                if not isinstance(nxt, dict) or "type" in nxt:
+                    raise ValueError(f"metric name {name!r} collides with a leaf")
+                node = nxt
+            if parts[-1] in node:
+                raise ValueError(f"metric name {name!r} collides with a subtree")
+            node[parts[-1]] = leaf
+        return tree
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        # allow_nan=False: the snapshot contract is strict JSON (nan -> null
+        # happens in the metric snapshot() methods, not here).
+        return json.dumps(
+            self.snapshot(), indent=indent, sort_keys=True, allow_nan=False
+        )
+
+    # -- collection walkers -------------------------------------------------
+    def collect_object(self, obj, base: str) -> int:
+        """Register every metric-typed attribute of ``obj`` under ``base``."""
+        n = 0
+        for attr, val in sorted(vars(obj).items()):
+            if isinstance(val, _METRIC_TYPES):
+                self.register(f"{base}.{attr}", val)
+                n += 1
+        return n
+
+    @classmethod
+    def from_cluster(cls, cluster, prefix: str = "") -> "MetricsRegistry":
+        """Walk a NICE or NOOB cluster and register everything measurable.
+
+        Duck-typed: any object with ``clients`` / ``nodes`` / ``switch`` /
+        ``edge_switches`` / ``gateways`` / ``network`` attributes
+        contributes whichever of those it has.
+        """
+        reg = cls()
+        p = f"{prefix}." if prefix else ""
+        for client in getattr(cluster, "clients", []):
+            reg.collect_object(client, f"{p}client.{client.host.name}")
+        nodes = getattr(cluster, "nodes", {})
+        items = nodes.items() if isinstance(nodes, dict) else (
+            (n.host.name, n) for n in nodes
+        )
+        for name, node in sorted(items):
+            reg.collect_object(node, f"{p}node.{name}")
+        switches = []
+        core = getattr(cluster, "switch", None)
+        if core is not None:
+            switches.append(core)
+        switches.extend(getattr(cluster, "edge_switches", []))
+        for sw in switches:
+            base = f"{p}switch.{sw.name}"
+            reg.collect_object(sw, base)
+            table = getattr(sw, "table", None)
+            if table is not None:
+                reg.gauge(f"{base}.flowtable.rules", lambda t=table: len(t))
+                reg.gauge(f"{base}.flowtable.cache_hits",
+                          lambda t=table: t.cache_hits)
+                reg.gauge(f"{base}.flowtable.cache_misses",
+                          lambda t=table: t.cache_misses)
+        for gw in getattr(cluster, "gateways", []):
+            reg.collect_object(gw, f"{p}gateway.{gw.host.name}")
+        network = getattr(cluster, "network", None)
+        for link in getattr(network, "links", []):
+            for channel in link.channels:
+                reg.collect_object(channel, f"{p}link.{channel.name}")
+        return reg

@@ -1,0 +1,93 @@
+"""Process-wide trace session for CLI wiring.
+
+``python -m repro.bench … --trace out.trace.json`` needs every cluster
+built anywhere under the run (the figure cells build dozens) to get a
+tracer, without threading a handle through every call site.  The session
+is module-level state: the CLI opens it, the bench harness's builders
+call :func:`attach` on each new simulator, and the CLI exports the merged
+trace at the end.
+
+When no session is open, :func:`attach` is a no-op — the builders stay
+zero-overhead for normal runs and the simulators keep their null tracer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .export import write_chrome_trace, write_jsonl
+from .tracer import Tracer
+
+__all__ = ["TraceSession", "start", "stop", "current", "attach"]
+
+_session: Optional["TraceSession"] = None
+
+
+class TraceSession:
+    """One ``--trace`` invocation: a growing list of per-run tracers."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.tracers: List[Tracer] = []
+
+    def attach(self, sim, label: str = "") -> Tracer:
+        """Install a tracer on ``sim`` (idempotent) and track it."""
+        if getattr(sim, "tracer", None) is not None:
+            return sim.tracer
+        label = label or f"run {len(self.tracers) + 1}"
+        tracer = Tracer(sim, label=f"{len(self.tracers) + 1}: {label}")
+        sim.tracer = tracer
+        self.tracers.append(tracer)
+        return tracer
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(t) for t in self.tracers)
+
+    def export(self, path: Optional[str] = None) -> dict:
+        """Write the merged trace; returns a provenance-ready summary.
+
+        ``*.jsonl`` paths get the raw JSONL dump, anything else the Chrome
+        trace JSON.
+        """
+        out = path or self.path
+        if not out:
+            raise ValueError("trace session has no output path")
+        if out.endswith(".jsonl"):
+            n = write_jsonl(out, self.tracers)
+            fmt = "jsonl"
+        else:
+            n = write_chrome_trace(out, self.tracers)
+            fmt = "chrome"
+        return {
+            "path": out,
+            "format": fmt,
+            "runs": len(self.tracers),
+            "events": self.total_events,
+            "exported_events": n,
+        }
+
+
+def start(path: Optional[str] = None) -> TraceSession:
+    """Open a session (replacing any prior one) and return it."""
+    global _session
+    _session = TraceSession(path)
+    return _session
+
+
+def stop() -> Optional[TraceSession]:
+    """Close and return the active session (None if none was open)."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+def current() -> Optional[TraceSession]:
+    return _session
+
+
+def attach(sim, label: str = "") -> Optional[Tracer]:
+    """Attach the active session's tracer to ``sim``; no-op when closed."""
+    if _session is None:
+        return None
+    return _session.attach(sim, label)

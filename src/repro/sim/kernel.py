@@ -347,6 +347,10 @@ class Simulator:
         self._eid = 0
         self._running = False
         self._call_pool: List[_Call] = []
+        #: Optional :class:`repro.obs.Tracer`.  ``None`` means tracing is
+        #: off and every hook site reduces to an attribute load + branch
+        #: (the null-tracer pattern; install via ``repro.obs.install``).
+        self.tracer = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -390,7 +394,11 @@ class Simulator:
     def process(self, generator) -> "Process":
         """Start a new process running ``generator`` (see :mod:`.process`)."""
         cls = _process_cls()
-        return cls(self, generator)
+        proc = cls(self, generator)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("spawn", "proc", node=proc.name)
+        return proc
 
     def call_at(self, when: float, func: Callable, *args: Any) -> None:
         """Invoke ``func(*args)`` at absolute simulated time ``when``."""

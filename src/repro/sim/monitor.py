@@ -31,6 +31,10 @@ class Counter:
         old, self.value = self.value, 0
         return old
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for :class:`~repro.obs.MetricsRegistry` exports."""
+        return {"type": "counter", "value": self.value}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counter({self.name!r}, {self.value})"
 
@@ -63,7 +67,11 @@ class Tally:
 
     @property
     def stdev(self) -> float:
-        if self.count < 2:
+        # Empty tallies report nan across the board (mean/min/max do);
+        # a lone 0.0 here made summary_stats([]) mix nan and 0.0.
+        if self.count == 0:
+            return math.nan
+        if self.count == 1:
             return 0.0
         var = (self._sumsq - self._sum * self._sum / self.count) / (self.count - 1)
         return math.sqrt(max(var, 0.0))
@@ -97,6 +105,24 @@ class Tally:
             raise ValueError(f"tally {self.name!r} does not retain samples")
         return tuple(self._samples)
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state (nan becomes None so strict JSON parsers work)."""
+        def safe(x: float):
+            return None if math.isnan(x) else x
+
+        out: Dict[str, object] = {
+            "type": "tally",
+            "count": self.count,
+            "mean": safe(self.mean),
+            "stdev": safe(self.stdev),
+            "min": safe(self.minimum),
+            "max": safe(self.maximum),
+        }
+        if self._samples is not None:
+            out["p50"] = safe(self.percentile(50))
+            out["p99"] = safe(self.percentile(99))
+        return out
+
 
 class RateSeries:
     """Buckets event occurrences into fixed-width time bins (ops/second)."""
@@ -113,10 +139,14 @@ class RateSeries:
         self._bins[idx] = self._bins.get(idx, 0) + count
 
     def series(self, t_end: Optional[float] = None) -> List[Tuple[float, float]]:
-        """Return [(bin_start_time, rate_per_second), ...] densely to t_end."""
+        """Return [(bin_start_time, rate_per_second), ...] densely through
+        ``t_end`` — or further, if events were recorded after ``t_end``
+        (late bins used to be silently dropped, hiding recorded data)."""
         if not self._bins and t_end is None:
             return []
-        last = int(t_end // self.bin_width) if t_end is not None else max(self._bins)
+        last = int(t_end // self.bin_width) if t_end is not None else -1
+        if self._bins:
+            last = max(last, max(self._bins))
         out = []
         for idx in range(0, last + 1):
             out.append((idx * self.bin_width, self._bins.get(idx, 0) / self.bin_width))
@@ -124,6 +154,15 @@ class RateSeries:
 
     def total(self) -> int:
         return sum(self._bins.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state: bin index -> event count (sparse, stringly keyed)."""
+        return {
+            "type": "rate",
+            "bin_width": self.bin_width,
+            "total": self.total(),
+            "bins": {str(idx): self._bins[idx] for idx in sorted(self._bins)},
+        }
 
 
 def summary_stats(values: Sequence[float]) -> Dict[str, float]:

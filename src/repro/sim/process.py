@@ -111,6 +111,10 @@ class Process(Event):
             self._target.remove_callback(self._resume)
         self._target = None
 
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("wake", "proc", node=self.name)
+
         while True:
             try:
                 if event.ok:

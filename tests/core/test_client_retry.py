@@ -1,0 +1,183 @@
+"""Client retry semantics: fixed back-off, bounded any-k, authoritative miss.
+
+Pins the PR-4 bugfix sweep:
+
+* ``_put``/``_get`` honor the documented fixed back-off after a rejection
+  (previously a non-ok reply re-sent immediately — a zero-sim-time retry
+  storm against a rejecting replica set);
+* ``_put_anyk`` is bounded by ``client_retry_timeout_s`` instead of
+  hanging forever (and reporting ok) when the quorum is unreachable;
+* an authoritative get "miss" returns immediately — it is an answer,
+  not a failure to reach the store.
+"""
+
+import pytest
+
+from repro.chaos import ChaosEngine, FaultEvent, FaultSchedule
+from repro.core import ClusterConfig, NiceCluster
+from repro.obs import install as install_tracer
+
+
+def make_cluster(**kw):
+    # heartbeat_miss_limit is huge so a crashed replica is never declared
+    # failed: the replica set stays degraded and every 2PC put against it
+    # aborts after peer_timeout_s — the rejection path under test.
+    defaults = dict(
+        n_storage_nodes=6, n_clients=1, replication_level=3,
+        heartbeat_miss_limit=10_000,
+    )
+    defaults.update(kw)
+    cluster = NiceCluster(ClusterConfig(**defaults))
+    cluster.warm_up()
+    return cluster
+
+
+def crash_one_secondary(cluster, key):
+    part = cluster.uni_vring.subgroup_of_key(key)
+    rs = cluster.partition_map.get(part)
+    victim = next(m for m in rs.members if m != rs.primary)
+    cluster.nodes[victim].crash()
+    return victim
+
+
+def run_driver(cluster, gen, until=60.0):
+    proc = cluster.sim.process(gen)
+    cluster.sim.run(until=until)
+    assert proc.triggered, "driver did not finish"
+    return proc.value
+
+
+def test_put_retry_attempts_are_spaced_by_fixed_backoff():
+    """A rejecting replica set must see retries ``client_retry_timeout_s``
+    apart, not a same-instant storm (the attempt spans prove the spacing)."""
+    cluster = make_cluster()
+    tracer = install_tracer(cluster.sim, label="test")
+    client = cluster.clients[0]
+    key = "stormy"
+    crash_one_secondary(cluster, key)
+    cfg = cluster.config
+
+    def driver():
+        result = yield client.put(key, "v", 1000, max_retries=2)
+        return result
+
+    result = run_driver(cluster, driver())
+    # Two aborts (peer timeout on the crashed secondary), then the §4.4
+    # two-strikes failure report repairs the replica set and the third
+    # attempt commits.
+    assert result.ok
+    assert result.retries == 2
+    assert client.retries.value == 2
+    assert client.failures.value == 0
+
+    attempts = tracer.spans("put")
+    assert len(attempts) == 3
+    # The rejected attempts ended with the coordinator's "fail" reply, not
+    # a timeout: the back-off (not the 2 s op timeout) made the spacing.
+    assert [e.args["status"] for _, e in attempts] == ["fail", "fail", "ok"]
+    starts = [b.ts for b, _ in attempts]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    for gap in gaps:
+        assert gap >= cfg.client_retry_timeout_s
+        # ... but not a full op timeout: the reply arrived early (at the
+        # 0.5 s peer timeout) and only the back-off was waited out.
+        assert gap < cfg.client_retry_timeout_s + 2 * cfg.peer_timeout_s
+    # Total: 2 aborts at ~peer_timeout plus 2 back-offs plus a fast commit.
+    expected = 2 * cfg.peer_timeout_s + 2 * cfg.client_retry_timeout_s
+    assert result.latency == pytest.approx(expected, rel=0.2)
+
+
+def test_put_anyk_times_out_when_quorum_unreachable():
+    """Chaos-crashed replica + quorum == replication level: the any-k
+    multicast can never complete, so the op must return ``status ==
+    "timeout"`` at the retry timeout instead of hanging (and must not
+    report ok)."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "anyk-k"
+    schedule = FaultSchedule(
+        "crash_secondary",
+        (FaultEvent.make(0.1, "crash", f"secondary:{key}"),),
+    )
+    ChaosEngine(cluster, schedule, seed=1).start()
+    cfg = cluster.config
+    out = {}
+
+    def driver(sim):
+        yield sim.timeout(0.2)  # after the crash fires
+        t0 = sim.now
+        result = yield client.put_anyk(key, "v", 1000, quorum=cfg.replication_level)
+        out["elapsed"] = sim.now - t0
+        return result
+
+    result = run_driver(cluster, driver(cluster.sim))
+    assert not result.ok
+    assert result.status == "timeout"
+    assert out["elapsed"] == pytest.approx(cfg.client_retry_timeout_s, rel=0.01)
+    assert client.failures.value == 1
+
+
+def test_put_anyk_still_completes_with_reachable_quorum():
+    """Same degraded cluster, but quorum == 2 of 3 replicas: the two live
+    replicas satisfy it, so the timeout bound must not fire."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "anyk-k"
+    crash_one_secondary(cluster, key)
+
+    def driver():
+        result = yield client.put_anyk(key, "v", 1000, quorum=2)
+        return result
+
+    result = run_driver(cluster, driver())
+    assert result.ok
+    assert result.value == 2  # exactly the quorum acks
+    assert result.latency < cluster.config.client_retry_timeout_s
+
+
+def test_get_miss_returns_immediately_without_retry():
+    cluster = make_cluster()
+    client = cluster.clients[0]
+
+    def driver():
+        result = yield client.get("never-written", max_retries=3)
+        return result
+
+    result = run_driver(cluster, driver())
+    assert not result.ok
+    assert result.status == "miss"
+    assert result.retries == 0  # answered on the first attempt
+    assert client.retries.value == 0
+    assert result.latency < cluster.config.client_retry_timeout_s
+
+
+def test_get_error_reply_backs_off_before_retrying():
+    """An early non-ok, non-miss reply must still honor the fixed back-off
+    (mirror of the put fix).  No node emits such a status today, so the
+    reply is injected straight into the client's waiter."""
+    cluster = make_cluster()
+    tracer = install_tracer(cluster.sim, label="test")
+    client = cluster.clients[0]
+    cfg = cluster.config
+
+    def inject_error(sim):
+        # Fail the first in-flight get attempt with a synthetic error.
+        yield sim.timeout(1e-4)
+        (op_id, waiter), = list(client._waiters.items())
+        waiter.succeed({"op_id": list(op_id), "status": "error"})
+
+    def driver(sim):
+        sim.process(inject_error(sim))
+        result = yield client.get("never-written", max_retries=1)
+        return result
+
+    result = run_driver(cluster, driver(cluster.sim))
+    # Attempt 0 saw the injected error; attempt 1 reached the store and
+    # got the authoritative miss.
+    assert result.status == "miss"
+    assert result.retries == 1
+    attempts = tracer.spans("get")
+    assert [e.args["status"] for _, e in attempts] == ["error", "miss"]
+    gap = attempts[1][0].ts - attempts[0][0].ts
+    assert gap >= cfg.client_retry_timeout_s
+    assert gap < cfg.client_retry_timeout_s + 0.1

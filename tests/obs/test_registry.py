@@ -1,0 +1,101 @@
+"""MetricsRegistry tests: naming, live references, cluster collection."""
+
+import json
+
+import pytest
+
+from repro.core import ClusterConfig, NiceCluster
+from repro.obs import MetricsRegistry
+from repro.sim import Counter, RateSeries, Tally
+
+
+def test_register_query_and_contains():
+    reg = MetricsRegistry()
+    c = reg.register("node.n0.aborts", Counter("aborts"))
+    reg.register("node.n0.put_latency", Tally("put"))
+    reg.register("client.c0.ops", RateSeries(name="ops"))
+    reg.gauge("switch.sw.rules", lambda: 42)
+    assert len(reg) == 4
+    assert "node.n0.aborts" in reg
+    assert reg.get("node.n0.aborts") is c
+    assert reg.names("node") == ["node.n0.aborts", "node.n0.put_latency"]
+    assert reg.names("node.n0") == ["node.n0.aborts", "node.n0.put_latency"]
+    assert list(reg.query("switch")) == ["switch.sw.rules"]
+    # The registry holds references: mutations show up in later snapshots.
+    c.add(3)
+    assert reg.snapshot()["node"]["n0"]["aborts"]["value"] == 3
+
+
+def test_duplicate_and_empty_names_rejected():
+    reg = MetricsRegistry()
+    reg.register("a.b", Counter())
+    with pytest.raises(KeyError):
+        reg.register("a.b", Counter())
+    with pytest.raises(KeyError):
+        reg.gauge("a.b", lambda: 0)
+    with pytest.raises(ValueError):
+        reg.register("", Counter())
+
+
+def test_leaf_subtree_collisions_raise():
+    reg = MetricsRegistry()
+    reg.register("a.b", Counter())
+    reg.register("a.b.c", Counter())  # registering is fine ...
+    with pytest.raises(ValueError):
+        reg.snapshot()  # ... but the tree can't represent both
+
+
+def test_snapshot_is_strict_deterministic_json():
+    def build():
+        reg = MetricsRegistry()
+        reg.register("z.tally", Tally("t"))  # empty: nan -> null
+        reg.register("a.count", Counter("c"))
+        reg.gauge("m.gauge", lambda: 7)
+        return reg
+
+    a, b = build().to_json(), build().to_json()
+    assert a == b
+    doc = json.loads(a)  # strict JSON: would fail on bare NaN
+    assert doc["z"]["tally"]["mean"] is None
+    assert doc["m"]["gauge"] == {"type": "gauge", "value": 7}
+    assert list(doc) == ["a", "m", "z"]  # sorted at every level
+
+
+def test_from_cluster_collects_all_layers():
+    cluster = NiceCluster(ClusterConfig(n_storage_nodes=4, n_clients=1))
+    cluster.warm_up()
+    reg = MetricsRegistry.from_cluster(cluster, prefix="nice")
+    names = reg.names()
+    assert any(n.startswith("nice.client.") and n.endswith(".put_latency")
+               for n in names)
+    assert any(n.startswith("nice.node.") for n in names)
+    assert "nice.switch.sw.flowtable.rules" in names or any(
+        ".flowtable.rules" in n for n in names
+    )
+    assert any(n.startswith("nice.link.") for n in names)
+    # Gauges sample live state: the warm-up installed the vring rules.
+    rules_name = next(n for n in names if n.endswith(".flowtable.rules"))
+    assert reg.get(rules_name)() > 0
+    # The whole tree must export as strict JSON.
+    json.loads(reg.to_json())
+
+
+def test_from_cluster_snapshot_reflects_traffic():
+    cluster = NiceCluster(ClusterConfig(n_storage_nodes=4, n_clients=1))
+    cluster.warm_up()
+    reg = MetricsRegistry.from_cluster(cluster)
+    client = cluster.clients[0]
+
+    def driver():
+        result = yield client.put("k", "v", 512)
+        assert result.ok
+        result = yield client.get("k")
+        assert result.ok
+
+    cluster.sim.process(driver())
+    cluster.sim.run(until=10.0)
+    snap = reg.snapshot()
+    cname = client.host.name
+    assert snap["client"][cname]["put_latency"]["count"] == 1
+    assert snap["client"][cname]["get_latency"]["count"] == 1
+    assert snap["client"][cname]["failures"]["value"] == 0

@@ -1,0 +1,49 @@
+"""TraceSession tests: the module-level --trace wiring."""
+
+import json
+
+from repro.obs import runtime
+from repro.sim import Simulator
+
+
+def teardown_function(_fn):
+    runtime.stop()  # never leak a session into other tests
+
+
+def test_attach_is_noop_without_session():
+    sim = Simulator()
+    assert runtime.current() is None
+    assert runtime.attach(sim, label="x") is None
+    assert sim.tracer is None
+
+
+def test_session_attaches_and_labels_runs():
+    session = runtime.start("unused.json")
+    a, b = Simulator(), Simulator()
+    ta = runtime.attach(a, label="NICE r=3")
+    tb = runtime.attach(b)  # default label
+    assert a.tracer is ta and b.tracer is tb
+    assert [t.label for t in session.tracers] == ["1: NICE r=3", "2: run 2"]
+    # Idempotent: a second attach returns the existing tracer.
+    assert runtime.attach(a, label="other") is ta
+    assert len(session.tracers) == 2
+    assert runtime.stop() is session
+    assert runtime.current() is None
+
+
+def test_session_export_formats(tmp_path):
+    session = runtime.start(str(tmp_path / "t.trace.json"))
+    sim = Simulator()
+    tracer = runtime.attach(sim, label="x")
+    tracer.instant("mark", "test", node="n")
+    assert session.total_events == 1
+    summary = session.export()
+    assert summary["format"] == "chrome"
+    assert summary["runs"] == 1 and summary["events"] == 1
+    doc = json.loads((tmp_path / "t.trace.json").read_text())
+    assert summary["exported_events"] == len(doc["traceEvents"])
+    # Same session, explicit .jsonl path -> raw lines.
+    summary = session.export(str(tmp_path / "t.jsonl"))
+    assert summary["format"] == "jsonl"
+    assert summary["exported_events"] == 1
+    runtime.stop()

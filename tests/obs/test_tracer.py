@@ -1,0 +1,127 @@
+"""Tracer unit tests: the determinism contract, spans, op correlation."""
+
+import pytest
+
+from repro.obs import Span, Tracer, install, packet_op, uninstall
+from repro.sim import Simulator
+
+
+def make_tracer():
+    sim = Simulator()
+    return sim, install(sim, label="t")
+
+
+def test_install_and_uninstall():
+    sim = Simulator()
+    assert sim.tracer is None  # null tracer by default: hooks are no-ops
+    tracer = install(sim, label="x")
+    assert sim.tracer is tracer
+    assert uninstall(sim) is tracer
+    assert sim.tracer is None
+
+
+def test_instant_records_sim_time():
+    sim, tracer = make_tracer()
+
+    def proc():
+        yield sim.timeout(1.5)
+        sim.tracer.instant("tick", "test", node="n1", op=("c", 1), depth=3)
+
+    sim.process(proc())
+    sim.run()
+    # The kernel itself contributes spawn/wake instants (cat "proc").
+    assert all(ev.cat == "proc" for ev in tracer.events if ev.cat != "test")
+    (ev,) = [ev for ev in tracer.events if ev.cat == "test"]
+    assert (ev.ts, ev.ph, ev.name, ev.cat, ev.node) == (1.5, "i", "tick", "test", "n1")
+    assert ev.op == ("c", 1)
+    assert ev.args == {"depth": 3}
+
+
+def test_span_end_is_idempotent():
+    """Protocol coroutines have many exit paths; a double end() must
+    record exactly one E event."""
+    sim, tracer = make_tracer()
+    span = tracer.begin("op", "test", node="n1", op=("c", 1))
+    span.end(status="ok")
+    span.end(status="late-duplicate")
+    phases = [ev.ph for ev in tracer.events]
+    assert phases == ["B", "E"]
+    assert tracer.events[1].args == {"status": "ok"}
+
+
+def test_span_context_manager_closes_on_exception():
+    sim, tracer = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("risky", "test", node="n1"):
+            raise RuntimeError("boom")
+    assert [ev.ph for ev in tracer.events] == ["B", "E"]
+
+
+def test_spans_pair_nested_same_key_lifo():
+    sim, tracer = make_tracer()
+    outer = tracer.begin("put", "op", node="c0", op=("c", 1))
+    sim._now = 1.0  # advance sim time directly; unit test, no processes
+    inner = tracer.begin("put", "op", node="c0", op=("c", 1))
+    sim._now = 2.0
+    inner.end()
+    sim._now = 3.0
+    outer.end()
+    pairs = tracer.spans("put")
+    assert [(b.ts, e.ts) for b, e in pairs] == [(0.0, 3.0), (1.0, 2.0)]
+
+
+def test_spans_omit_unclosed_and_filter_by_name():
+    sim, tracer = make_tracer()
+    tracer.begin("orphan", "op", node="c0")
+    with tracer.span("kept", "op", node="c0"):
+        pass
+    assert tracer.spans("orphan") == []
+    assert len(tracer.spans("kept")) == 1
+    assert len(tracer.spans()) == 1
+
+
+def test_by_op_collects_cross_component_events():
+    sim, tracer = make_tracer()
+    op = ("10.0.0.1", 7)
+    tracer.begin("put", "op", node="c0", op=op).end()
+    tracer.instant("rule_hit", "switch", node="sw", op=op)
+    tracer.instant("unrelated", "switch", node="sw", op=("10.0.0.1", 8))
+    events = tracer.by_op(op)
+    assert [(ev.ph, ev.name) for ev in events] == [
+        ("B", "put"), ("E", "put"), ("i", "rule_hit"),
+    ]
+
+
+def test_packet_op_top_level_and_nested():
+    assert packet_op({"op_id": ["10.0.0.1", 3]}) == ("10.0.0.1", 3)
+    assert packet_op({"payload": {"op_id": ("c", 1)}}) == ("c", 1)
+    assert packet_op({"type": "heartbeat"}) is None
+    assert packet_op(b"raw-bytes") is None
+    assert packet_op(None) is None
+
+
+def test_null_tracer_runs_are_bit_identical_to_traced_runs():
+    """The determinism contract: installing a tracer must not change a
+    single timestamp of the simulation."""
+
+    def workload(sim):
+        log = []
+
+        def pinger():
+            for i in range(20):
+                yield sim.timeout(0.1 + (i % 3) * 0.01)
+                tr = sim.tracer
+                if tr is not None:
+                    tr.instant("ping", "test", node="p")
+                log.append(sim.now)
+
+        sim.process(pinger())
+        sim.run()
+        return log
+
+    plain = workload(Simulator())
+    traced_sim = Simulator()
+    tracer = install(traced_sim)
+    traced = workload(traced_sim)
+    assert plain == traced
+    assert sum(1 for ev in tracer.events if ev.cat == "test") == 20

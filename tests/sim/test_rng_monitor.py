@@ -83,9 +83,59 @@ def test_tally_percentile():
 
 
 def test_tally_empty():
+    # Empty stats are nan across the board — a 0.0 stdev next to nan
+    # mean/min/max was the PR-4 inconsistency.
     t = Tally()
     assert math.isnan(t.mean)
-    assert t.stdev == 0.0
+    assert math.isnan(t.stdev)
+    assert math.isnan(t.minimum)
+    assert math.isnan(t.maximum)
+    assert math.isnan(t.percentile(50))
+
+
+def test_tally_singleton():
+    t = Tally()
+    t.observe(7.0)
+    assert t.mean == 7.0
+    assert t.stdev == 0.0  # one sample: zero spread, not nan
+    assert t.minimum == 7.0
+    assert t.maximum == 7.0
+    assert t.percentile(50) == 7.0
+
+
+def test_summary_stats_empty_is_all_nan():
+    s = summary_stats([])
+    assert s["count"] == 0
+    for field in ("mean", "stdev", "min", "max"):
+        assert math.isnan(s[field]), field
+
+
+def test_rate_series_includes_bins_after_t_end():
+    rs = RateSeries(bin_width=1.0)
+    rs.record(0.5)
+    rs.record(5.5, count=2)  # recorded after the nominal window
+    series = dict(rs.series(t_end=2.0))
+    assert series[0.0] == 1.0
+    assert series[5.0] == 2.0  # used to be silently dropped
+    assert series[3.0] == 0.0  # still dense in between
+
+
+def test_metric_snapshots_json_safe():
+    import json
+
+    c = Counter("c")
+    c.add(3)
+    assert c.snapshot() == {"type": "counter", "value": 3}
+    t = Tally()
+    snap = t.snapshot()
+    assert snap["count"] == 0 and snap["mean"] is None and snap["stdev"] is None
+    t.observe(1.0)
+    assert t.snapshot()["mean"] == 1.0
+    rs = RateSeries(bin_width=2.0)
+    rs.record(3.0)
+    rsnap = rs.snapshot()
+    assert rsnap == {"type": "rate", "bin_width": 2.0, "total": 1, "bins": {"1": 1}}
+    json.dumps([c.snapshot(), t.snapshot(), rsnap], allow_nan=False)
 
 
 def test_tally_without_samples_rejects_percentile():
