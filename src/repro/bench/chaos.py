@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..chaos import ChaosEngine, FaultSchedule, standard_schedules
+from ..chaos import ChaosEngine, FaultSchedule, controlplane_schedules, standard_schedules
 from ..check import (
     CheckLimitExceeded,
     HistoryRecorder,
@@ -93,11 +93,15 @@ MODES: Dict[str, Dict] = {
 CLUSTER_KW = dict(n_storage_nodes=6, n_clients=3)
 
 
-def _build(mode: str, seed: int):
+def _build(mode: str, seed: int, standbys: int = 0):
     spec = MODES[mode]
     kwargs = dict(CLUSTER_KW, seed=seed, **spec["overrides"])
     if spec["system"] == "nice":
+        if standbys:
+            kwargs["metadata_standbys"] = standbys
         return build_nice(**kwargs)
+    if standbys:
+        raise ValueError("metadata standbys are a NICE-only configuration")
     return build_noob(**kwargs)
 
 
@@ -114,6 +118,10 @@ def _schedule_suite(key: str, names: Optional[List[str]] = None) -> List[FaultSc
 
 
 def _schedule_by_name(key: str, name: str) -> FaultSchedule:
+    """Resolve a schedule from either family by name."""
+    cp = controlplane_schedules(key)
+    if name in cp:
+        return cp[name]
     return _schedule_suite(key, [name])[0]
 
 
@@ -146,6 +154,62 @@ def _workload(cluster, recorder: HistoryRecorder, keys: List[str], duration: flo
         sim.process(loop(client, np.random.default_rng([seed, idx])))
 
 
+def _table_snapshot(cluster) -> List:
+    """Semantic FlowTable + group-table state of every switch, chaos
+    cookies excluded, mutable per-rule stats (seq, hit counters) ignored —
+    two snapshots are equal iff the switches would forward identically."""
+    snap = []
+    for switch in [cluster.switch] + list(getattr(cluster, "edge_switches", [])):
+        rules = sorted(
+            (r.cookie, r.priority, str(r.match), str(list(r.actions)))
+            for r in switch.table.iter_rules()
+            if not r.cookie.startswith("chaos:")
+        )
+        groups = sorted(
+            (gid, str(list(g.buckets))) for gid, g in switch.groups.items()
+        )
+        snap.append((switch.name, tuple(rules), tuple(groups)))
+    return snap
+
+
+def _controlplane_provenance(cluster) -> Dict:
+    """Post-run control-plane verdict for an HA cell.
+
+    Runs one reconciliation pass over the settled cluster (it must find
+    nothing to repair), then compares the resulting tables against a
+    from-scratch ``sync_all`` — bit-identical tables prove the
+    diff-repair converged to exactly the desired state.
+    """
+    sim = cluster.sim
+    ha = cluster.metadata_ha
+    service = cluster.metadata_active
+    steady = service.reconcile_switches()
+    sim.run(until=sim.now + 0.01)  # let the repair flow-mods land
+    reconciled = _table_snapshot(cluster)
+    cluster.controller.sync_all(epoch=service.epoch)
+    sim.run(until=sim.now + 0.01)
+    scratch = _table_snapshot(cluster)
+    nodes = list(cluster.nodes.values())
+    return {
+        "epoch_final": service.epoch,
+        "promotions": ha.promotions.value,
+        "demotions": ha.demotions.value,
+        "fenced_flow_mods": sum(
+            sw.fenced_mods.value
+            for sw in [cluster.switch] + list(cluster.edge_switches)
+        ),
+        "membership_fenced": sum(n.membership_fenced.value for n in nodes),
+        "meta_failovers": sum(n.meta_failovers.value for n in nodes),
+        "takeover_reconcile": {
+            "installed": ha.reconcile_installed.value,
+            "deleted": ha.reconcile_deleted.value,
+            "matched": ha.reconcile_matched.value,
+        },
+        "steady_reconcile": steady,
+        "reconcile_matches_scratch": reconciled == scratch,
+    }
+
+
 def run_case(
     mode: str,
     schedule: FaultSchedule,
@@ -153,9 +217,10 @@ def run_case(
     duration: float = 10.0,
     n_keys: int = 3,
     max_states: int = 2_000_000,
+    standbys: int = 0,
 ) -> Dict:
     """One cell of the matrix; returns a JSON-ready row."""
-    cluster = _build(mode, seed)
+    cluster = _build(mode, seed, standbys)
     partition = 0
     keys = keys_in_partition(partition, cluster.config.n_partitions, n_keys)
     # Re-target the schedule at a key of the chosen partition: schedules
@@ -187,7 +252,9 @@ def run_case(
         linearizable, core, reason = False, mono.violation, mono.reason
 
     ok_ops = sum(1 for op in recorder.ops if op.ok)
-    return {
+    row = {
+        "family": "controlplane" if standbys else "standard",
+        "standbys": standbys,
         "mode": mode,
         "schedule": schedule.name,
         "has_loss": any(ev.kind == "loss" for ev in schedule),
@@ -204,6 +271,9 @@ def run_case(
         "violation": [str(op) for op in core],
         "reason": reason,
     }
+    if standbys:
+        row["controlplane"] = _controlplane_provenance(cluster)
+    return row
 
 
 def rebuild_for_key(schedule: FaultSchedule, key: str) -> FaultSchedule:
@@ -218,12 +288,18 @@ def rebuild_for_key(schedule: FaultSchedule, key: str) -> FaultSchedule:
     return FaultSchedule(schedule.name, tuple(events), schedule.description)
 
 
-def chaos_cell(mode: str, schedule: str, duration: float, seed: int) -> Dict:
+def chaos_cell(
+    mode: str, schedule: str, duration: float, seed: int, standbys: int = 0
+) -> Dict:
     """One matrix cell, addressable by config alone: the schedule is
     rebuilt from its name inside the (possibly worker) process, so a cell
-    is a pure function of ``(mode, schedule, duration, seed)``."""
+    is a pure function of ``(mode, schedule, duration, seed, standbys)``."""
     return run_case(
-        mode, _schedule_by_name(SCHEDULE_KEY, schedule), seed, duration=duration
+        mode,
+        _schedule_by_name(SCHEDULE_KEY, schedule),
+        seed,
+        duration=duration,
+        standbys=standbys,
     )
 
 
@@ -244,11 +320,23 @@ def run_suite(
     ``--jobs`` setting; the merged case order (mode → schedule → seed) and
     every case payload are identical to a sequential run.
     """
+    cp_names = sorted(controlplane_schedules(SCHEDULE_KEY))
     if smoke:
         seeds, baseline_seeds, duration = 2, 1, 8.0
         modes = modes or ["nice", "rac-2pc", "rac-weak"]
-        schedules = schedules or ["crash_rejoin", "partition_rejoin", "primary_crash"]
+        schedules = schedules or [
+            "crash_rejoin", "partition_rejoin", "primary_crash", *cp_names,
+        ]
     modes = modes or list(MODES)
+    # ``schedules`` spans both families: names from the control-plane
+    # family select HA cells, the rest the standard suite.  ``None``
+    # means everything.
+    if schedules is None:
+        std_names: Optional[List[str]] = None
+        cp_selected = cp_names
+    else:
+        std_names = [n for n in schedules if n not in cp_names]
+        cp_selected = [n for n in cp_names if n in schedules]
     t0 = time.perf_counter()
     drain_records()  # isolate this suite's cell records from earlier runs
     cells = [
@@ -258,16 +346,31 @@ def run_suite(
             seed=seed,
         )
         for mode in modes
-        for schedule in _schedule_suite(SCHEDULE_KEY, schedules)
+        for schedule in _schedule_suite(SCHEDULE_KEY, std_names)
         for seed in range(1, (seeds if mode == "nice" else baseline_seeds) + 1)
     ]
+    # The control-plane family (metadata-leader crash/failover, controller
+    # channel outages) runs NICE-only, with one metadata standby.
+    if "nice" in modes:
+        cells += [
+            Cell(
+                chaos_cell,
+                dict(mode="nice", schedule=name, duration=duration, standbys=1),
+                seed=seed,
+            )
+            for name in cp_selected
+            for seed in range(1, seeds + 1)
+        ]
     cases: List[Dict] = run_cells(cells)
     cell_records = drain_records()
 
     summary: Dict[str, Dict] = {}
     failures: List[str] = []
     for mode in modes:
-        rows = [c for c in cases if c["mode"] == mode]
+        rows = [
+            c for c in cases
+            if c["mode"] == mode and c.get("family") != "controlplane"
+        ]
         violations = [c for c in rows if not c["linearizable"]]
         tolerated = [
             c
@@ -293,8 +396,34 @@ def run_suite(
                     f"{mode}/{c['schedule']}/seed{c['seed']}: "
                     f"unexpected violation: {c['reason']}"
                 )
+    cp_rows = [c for c in cases if c.get("family") == "controlplane"]
+    if cp_rows:
+        summary["controlplane"] = {
+            "cases": len(cp_rows),
+            "violations": len([c for c in cp_rows if not c["linearizable"]]),
+            "promotions": sum(c["controlplane"]["promotions"] for c in cp_rows),
+            "fenced_flow_mods": sum(
+                c["controlplane"]["fenced_flow_mods"] for c in cp_rows
+            ),
+            "reconcile_matches_scratch": all(
+                c["controlplane"]["reconcile_matches_scratch"] for c in cp_rows
+            ),
+        }
+        for c in cp_rows:
+            tag = f"controlplane/{c['schedule']}/seed{c['seed']}"
+            cp = c["controlplane"]
+            if not c["linearizable"]:
+                failures.append(f"{tag}: unexpected violation: {c['reason']}")
+            if c["schedule"] in ("metadata_failover", "node_meta_crash") and not cp["promotions"]:
+                failures.append(f"{tag}: metadata leader crashed but no standby promoted")
+            if not cp["reconcile_matches_scratch"]:
+                failures.append(f"{tag}: reconciled tables diverge from scratch sync")
+            if cp["steady_reconcile"]["installed"] or cp["steady_reconcile"]["deleted"]:
+                failures.append(
+                    f"{tag}: settled cluster still needed repair: {cp['steady_reconcile']}"
+                )
     report = {
-        "schema_version": 2,
+        "schema_version": 3,
         "suite": "chaos",
         "smoke": smoke,
         "duration_s_per_case": duration,
@@ -325,6 +454,13 @@ def format_report(report: Dict) -> str:
         )
     lines.append("")
     for mode, s in report["summary"].items():
+        if mode == "controlplane":
+            lines.append(
+                f"  {mode:<12} {s['cases']} cases, {s['violations']} violations, "
+                f"{s['promotions']} promotions, {s['fenced_flow_mods']} fenced mods, "
+                f"reconcile==scratch: {s['reconcile_matches_scratch']}"
+            )
+            continue
         want = "expected" if s["expect_violation"] else "must be clean"
         tol = f", {s['tolerated']} tolerated (loss-fragile)" if s.get("tolerated") else ""
         lines.append(

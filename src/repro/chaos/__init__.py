@@ -14,6 +14,17 @@ faults, record client histories, verify linearizability
 """
 
 from .engine import ChaosEngine
-from .schedule import FaultEvent, FaultSchedule, standard_schedules
+from .schedule import (
+    FaultEvent,
+    FaultSchedule,
+    controlplane_schedules,
+    standard_schedules,
+)
 
-__all__ = ["ChaosEngine", "FaultEvent", "FaultSchedule", "standard_schedules"]
+__all__ = [
+    "ChaosEngine",
+    "FaultEvent",
+    "FaultSchedule",
+    "controlplane_schedules",
+    "standard_schedules",
+]

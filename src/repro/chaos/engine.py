@@ -269,6 +269,58 @@ class ChaosEngine:
         self.sim.call_in(down_s, resync)
         self._mark(f"p{partition} rules flapped ({removed} removed, {down_s:g}s)")
 
+    # -- control-plane faults --------------------------------------------------------
+    def _do_metadata_crash(self, event: FaultEvent) -> None:
+        """Fail-stop the acting metadata leader (requires standbys)."""
+        ha = getattr(self.cluster, "metadata_ha", None)
+        leader = ha.leader if ha is not None else None
+        if leader is None or not leader.host.up:
+            self._mark(f"metadata_crash skipped ({event.target or 'no leader'})")
+            return
+        leader.crash()
+        # Bind under a symbolic key so the paired rejoin revives the
+        # replica that actually crashed, not whoever leads by then.
+        self._bound.setdefault("meta", []).append(leader.host.name)
+        self._mark(f"{leader.host.name} (metadata leader) crashes")
+
+    def _do_metadata_rejoin(self, event: FaultEvent) -> None:
+        ha = getattr(self.cluster, "metadata_ha", None)
+        fifo = self._bound.get("meta")
+        replica = ha.replica_named(fifo.pop(0)) if (ha is not None and fifo) else None
+        if replica is None:
+            self._mark(f"metadata_rejoin skipped ({event.target})")
+            return
+        replica.recover()
+        self._mark(f"{replica.host.name} (metadata replica) rejoins")
+
+    def _do_controller_crash(self, event: FaultEvent) -> None:
+        """Sever the controller↔switch channel: flow-mods and packet-ins
+        are dropped until ``controller_recover``."""
+        control_plane = getattr(self.cluster, "control_plane", None)
+        if control_plane is None or not hasattr(control_plane, "set_down"):
+            self._mark("controller_crash skipped (no control plane)")
+            return
+        control_plane.set_down(True)
+        self._mark("controller channel down")
+
+    def _do_controller_recover(self, event: FaultEvent) -> None:
+        """Restore the channel and run the reconciliation pass: recompute
+        the desired ruleset and repair only what diverged."""
+        control_plane = getattr(self.cluster, "control_plane", None)
+        if control_plane is None or not hasattr(control_plane, "set_down"):
+            self._mark("controller_recover skipped (no control plane)")
+            return
+        control_plane.set_down(False)
+        service = getattr(self.cluster, "metadata_active", None)
+        if service is not None and hasattr(service, "reconcile_switches"):
+            stats = service.reconcile_switches()
+            self._mark(
+                "controller channel up (reconciled "
+                f"+{stats['installed']}/-{stats['deleted']}, {stats['matched']} kept)"
+            )
+        else:
+            self._mark("controller channel up")
+
     def _do_stall(self, event: FaultEvent) -> None:
         control_plane = getattr(self.cluster, "control_plane", None)
         if control_plane is None:

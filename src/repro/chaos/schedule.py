@@ -23,6 +23,14 @@ Event kinds (see the engine for exact semantics):
                    ``down_s`` (NICE only)
 ``stall``          raise the controller's control-plane latency for
                    ``duration`` (NICE only)
+``metadata_crash`` fail-stop the acting metadata leader; a standby must
+                   promote itself (NICE with ``metadata_standbys`` only)
+``metadata_rejoin`` power the crashed metadata replica back on (it returns
+                   as a standby and syncs the membership log)
+``controller_crash`` sever the controller↔switch channel: flow-mods and
+                   packet-ins are dropped (NICE only)
+``controller_recover`` restore the channel and run the epoch-stamped
+                   reconciliation pass (diff-repair, not reinstall)
 =================  ==========================================================
 
 Targets are symbolic and resolved by the engine *at fire time* (membership
@@ -38,7 +46,12 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["FaultEvent", "FaultSchedule", "standard_schedules"]
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "controlplane_schedules",
+    "standard_schedules",
+]
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,67 @@ class FaultSchedule:
         )
 
     @staticmethod
+    def metadata_failover(crash_at: float = 2.0, rejoin_at: float = 5.5) -> "FaultSchedule":
+        """Kill the metadata leader mid-2PC traffic; a standby must detect
+        the lease expiry, replay the membership log, mint the next epoch
+        and reconcile the switches.  The deposed leader later returns and
+        must demote itself (its stale-epoch messages are fenced)."""
+        return FaultSchedule(
+            "metadata_failover",
+            (
+                FaultEvent.make(crash_at, "metadata_crash"),
+                FaultEvent.make(rejoin_at, "metadata_rejoin"),
+            ),
+            "metadata leader crash -> standby promotion -> deposed leader returns",
+        )
+
+    @staticmethod
+    def controller_outage(
+        key: str,
+        node_fail_at: float = 1.5,
+        crash_at: float = 3.8,
+        node_rejoin_at: float = 4.0,
+        recover_at: float = 5.5,
+    ) -> "FaultSchedule":
+        """Sever the switch channel across a node rejoin: the metadata
+        leader defers the rejoin (its visibility flow-mods would be
+        dropped), the node retries, and the post-recovery reconciliation
+        repairs exactly the rules that diverged."""
+        return FaultSchedule(
+            "controller_outage",
+            (
+                FaultEvent.make(node_fail_at, "crash", f"secondary:{key}"),
+                FaultEvent.make(crash_at, "controller_crash"),
+                FaultEvent.make(node_rejoin_at, "rejoin", f"secondary:{key}"),
+                FaultEvent.make(recover_at, "controller_recover"),
+            ),
+            "controller channel dark across a node rejoin; reconcile on recovery",
+        )
+
+    @staticmethod
+    def node_meta_crash(
+        key: str,
+        node_fail_at: float = 1.5,
+        meta_crash_at: float = 2.2,
+        meta_rejoin_at: float = 4.6,
+        node_rejoin_at: float = 6.4,
+    ) -> "FaultSchedule":
+        """Combined data+control failure: a storage node dies, then the
+        metadata leader dies before declaring it.  The promoted standby
+        must declare the node from its own (replayed) state, and the node's
+        rejoin lands on the new leader via redirect/failover."""
+        return FaultSchedule(
+            "node_meta_crash",
+            (
+                FaultEvent.make(node_fail_at, "crash", f"secondary:{key}"),
+                FaultEvent.make(meta_crash_at, "metadata_crash"),
+                FaultEvent.make(meta_rejoin_at, "metadata_rejoin"),
+                FaultEvent.make(node_rejoin_at, "rejoin", f"secondary:{key}"),
+            ),
+            "storage node + metadata leader crash; promoted standby handles both",
+        )
+
+    @staticmethod
     def random(seed: int, key: str, horizon: float = 8.0, n_episodes: int = 3, nice_only_events: bool = False) -> "FaultSchedule":
         """A seeded random schedule of fault episodes.
 
@@ -247,5 +321,15 @@ def standard_schedules(key: str) -> Dict[str, FaultSchedule]:
         FaultSchedule.partition_rejoin(key),
         FaultSchedule.isolate_rejoin(key),
         FaultSchedule.lossy_network(key),
+    ]
+    return {s.name: s for s in schedules}
+
+
+def controlplane_schedules(key: str) -> Dict[str, FaultSchedule]:
+    """The control-plane fault family (NICE with metadata standbys)."""
+    schedules = [
+        FaultSchedule.metadata_failover(),
+        FaultSchedule.controller_outage(key),
+        FaultSchedule.node_meta_crash(key),
     ]
     return {s.name: s for s in schedules}

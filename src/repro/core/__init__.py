@@ -16,6 +16,12 @@ from .config import (
     REQUEST_BYTES,
 )
 from .controller import HostRecord, NiceControllerApp
+from .controlplane_ha import (
+    ControlPlaneHA,
+    MembershipLog,
+    MetadataReplica,
+    replay_log,
+)
 from .membership import PartitionMap, ReplicaSet
 from .metadata import MetadataService
 from .storage_node import NiceStorageNode
@@ -27,11 +33,14 @@ __all__ = [
     "CLIENT_PORT",
     "COMMIT_BYTES",
     "ClusterConfig",
+    "ControlPlaneHA",
     "GET_PORT",
     "HEARTBEAT_BYTES",
     "HostRecord",
     "MEMBERSHIP_BYTES",
     "META_PORT",
+    "MembershipLog",
+    "MetadataReplica",
     "MetadataService",
     "NODE_PORT",
     "NiceClient",
@@ -43,5 +52,6 @@ __all__ = [
     "PartitionMap",
     "REQUEST_BYTES",
     "ReplicaSet",
+    "replay_log",
     "VirtualRing",
 ]

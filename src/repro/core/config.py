@@ -83,6 +83,11 @@ class ClusterConfig:
     load_balancing: bool = True
     #: Inject per-chunk multicast loss (exercises NACK repair; 0 in paper runs).
     multicast_chunk_loss: float = 0.0
+    #: Metadata-service standbys for control-plane HA.  0 (default) keeps
+    #: the single-process service from the paper; N > 0 adds N standby
+    #: replicas that tail the membership log and promote themselves (with
+    #: a new epoch) when the leader's lease expires.
+    metadata_standbys: int = 0
     #: Deployment shape (§5.1): "hw" — one switch that can rewrite headers
     #: and multicast (the idealized setup); "ovs" — the paper's actual
     #: CloudLab deployment: a software Open vSwitch on every client does
@@ -108,3 +113,5 @@ class ClusterConfig:
         self.n_partitions = p
         if self.deployment not in ("hw", "ovs"):
             raise ValueError(f"deployment must be 'hw' or 'ovs': {self.deployment!r}")
+        if self.metadata_standbys < 0:
+            raise ValueError(f"metadata_standbys must be >= 0: {self.metadata_standbys}")

@@ -108,6 +108,10 @@ class NiceControllerApp(ControllerApp):
         self.uni = unicast_vring
         self.mc = multicast_vring
         self.hosts: Dict[str, HostRecord] = {}
+        #: Control-plane epoch stamped on outgoing flow-mods.  The acting
+        #: metadata leader keeps this equal to its own epoch; switches
+        #: fence anything older (see OpenFlowSwitch.accept_epoch).
+        self.epoch = 0
         self.arp = ArpTable()
         #: dst ip -> [(switch, buffer_id)] awaiting ARP resolution.
         self._pending: Dict[IPv4Address, List[Tuple[object, int]]] = {}
@@ -178,44 +182,42 @@ class NiceControllerApp(ControllerApp):
         return self.arp.lookup(rec.ip)
 
     # -- bootstrap -----------------------------------------------------------------
-    def install_static_rules(self) -> None:
+    def _static_rules(self, switch, info: SwitchInfo) -> List[Rule]:
         """ARP punt rule on every switch, plus edge-switch base rules:
         deliver the attached client's traffic to it, default everything
         else up the uplink."""
-        for switch in self.channel.switches:
-            self.channel.flow_mod(
-                switch, Rule(Match(proto=Proto.ARP), [ToController()], PRIO_ARP, cookie="arp")
+        rules = [Rule(Match(proto=Proto.ARP), [ToController()], PRIO_ARP, cookie="arp")]
+        if info.role != "edge":
+            return rules
+        rec = self._host_by_ip.get(info.client_ip)
+        loc = self.arp.lookup(info.client_ip) if rec else None
+        if rec is not None and loc is not None and loc.switch_name == switch.name:
+            rules.append(
+                Rule(
+                    Match(ip_dst=rec.ip),
+                    [SetEthDst(rec.mac), Output(loc.port_no)],
+                    PRIO_L3,
+                    cookie="edge-base",
+                )
             )
-            info = self._info(switch)
-            if info.role != "edge":
-                continue
-            rec = self._host_by_ip.get(info.client_ip)
-            loc = self.arp.lookup(info.client_ip) if rec else None
-            if rec is not None and loc is not None and loc.switch_name == switch.name:
-                self.channel.flow_mod(
-                    switch,
-                    Rule(
-                        Match(ip_dst=rec.ip),
-                        [SetEthDst(rec.mac), Output(loc.port_no)],
-                        PRIO_L3,
-                        cookie="edge-base",
-                    ),
-                )
-            if info.uplink_port is not None:
-                self.channel.flow_mod(
-                    switch,
-                    Rule(Match(), [Output(info.uplink_port)], 1, cookie="edge-base"),
-                )
+        if info.uplink_port is not None:
+            rules.append(Rule(Match(), [Output(info.uplink_port)], 1, cookie="edge-base"))
+        return rules
 
-    def sync_all(self) -> None:
+    def install_static_rules(self) -> None:
+        for switch in self.channel.switches:
+            for rule in self._static_rules(switch, self._info(switch)):
+                self.channel.flow_mod(switch, rule)
+
+    def sync_all(self, epoch: Optional[int] = None) -> None:
         """Install L3 + vring + LB + group rules for the whole system."""
         for rec in self.hosts.values():
-            self._install_l3(rec)
+            self._install_l3(rec, epoch=epoch)
         for rs in self.partition_map:
-            self.sync_partition(rs.partition)
+            self.sync_partition(rs.partition, epoch=epoch)
 
     # -- per-partition rule synthesis --------------------------------------------------
-    def sync_partition(self, partition: int) -> None:
+    def sync_partition(self, partition: int, epoch: Optional[int] = None) -> None:
         """Recompute and reinstall every rule derived from one replica set.
 
         Called by the metadata service on any membership change affecting
@@ -223,20 +225,27 @@ class NiceControllerApp(ControllerApp):
         """
         rs = self.partition_map.get(partition)
         for switch in self.channel.switches:
-            info = self._info(switch)
-            self.channel.flow_delete(switch, f"uni:{partition}")
-            self.channel.flow_delete(switch, f"mc:{partition}")
-            if info.role == "edge":
-                for rule in self._edge_rules(rs, switch, info):
-                    self.channel.flow_mod(switch, rule)
-                continue
-            if info.can_rewrite:
-                for rule in self._unicast_rules(rs, switch):
-                    self.channel.flow_mod(switch, rule)
-            group, rules = self._multicast_entry(rs, switch, info)
-            self.channel.group_mod(switch, group)
-            for rule in rules:
-                self.channel.flow_mod(switch, rule)
+            self.channel.flow_delete(switch, f"uni:{partition}", epoch=epoch)
+            self.channel.flow_delete(switch, f"mc:{partition}", epoch=epoch)
+            pre, group, post = self._partition_state(rs, switch, self._info(switch))
+            for rule in pre:
+                self.channel.flow_mod(switch, rule, epoch=epoch)
+            if group is not None:
+                self.channel.group_mod(switch, group, epoch=epoch)
+            for rule in post:
+                self.channel.flow_mod(switch, rule, epoch=epoch)
+
+    def _partition_state(
+        self, rs: ReplicaSet, switch, info: SwitchInfo
+    ) -> Tuple[List[Rule], Optional[Group], List[Rule]]:
+        """Desired (rules-before-group, group, rules-after-group) for one
+        partition on one switch.  The split preserves install order: a
+        group must land before the rules that reference it."""
+        if info.role == "edge":
+            return self._edge_rules(rs, switch, info), None, []
+        pre = self._unicast_rules(rs, switch) if info.can_rewrite else []
+        group, post = self._multicast_entry(rs, switch, info)
+        return pre, group, post
 
     def _unicast_rules(self, rs: ReplicaSet, switch) -> List[Rule]:
         subgroup = self.uni.subgroup_prefix(rs.partition)
@@ -368,39 +377,37 @@ class NiceControllerApp(ControllerApp):
             return [ToController()]  # location unknown: punt (then ARP)
         return [SetIpDst(rec.ip), SetEthDst(rec.mac), Output(loc.port_no)]
 
-    def _install_l3(self, rec: HostRecord) -> None:
+    def _l3_rule(self, rec: HostRecord, switch, info: SwitchInfo) -> Optional[Rule]:
         loc = self.arp.lookup(rec.ip)
         if loc is None:
-            return
-        for switch in self.channel.switches:
-            info = self._info(switch)
-            if switch.name == loc.switch_name:
-                self.channel.flow_delete(switch, f"l3:{rec.ip}")
-                self.channel.flow_mod(
-                    switch,
-                    Rule(
-                        Match(ip_dst=rec.ip),
-                        [SetEthDst(rec.mac), Output(loc.port_no)],
-                        PRIO_L3,
-                        cookie=f"l3:{rec.ip}",
-                    ),
+            return None
+        if switch.name == loc.switch_name:
+            return Rule(
+                Match(ip_dst=rec.ip),
+                [SetEthDst(rec.mac), Output(loc.port_no)],
+                PRIO_L3,
+                cookie=f"l3:{rec.ip}",
+            )
+        if info.role == "core":
+            # Host sits behind another switch (a client's edge OVS):
+            # route toward that switch's fabric port.
+            port = self._fabric_ports.get((switch.name, loc.switch_name))
+            if port is not None:
+                return Rule(
+                    Match(ip_dst=rec.ip),
+                    [Output(port)],
+                    PRIO_L3,
+                    cookie=f"l3:{rec.ip}",
                 )
-            elif info.role == "core":
-                # Host sits behind another switch (a client's edge OVS):
-                # route toward that switch's fabric port.
-                port = self._fabric_ports.get((switch.name, loc.switch_name))
-                if port is not None:
-                    self.channel.flow_delete(switch, f"l3:{rec.ip}")
-                    self.channel.flow_mod(
-                        switch,
-                        Rule(
-                            Match(ip_dst=rec.ip),
-                            [Output(port)],
-                            PRIO_L3,
-                            cookie=f"l3:{rec.ip}",
-                        ),
-                    )
-            # Edges reach everything else via their default uplink rule.
+        # Edges reach everything else via their default uplink rule.
+        return None
+
+    def _install_l3(self, rec: HostRecord, epoch: Optional[int] = None) -> None:
+        for switch in self.channel.switches:
+            rule = self._l3_rule(rec, switch, self._info(switch))
+            if rule is not None:
+                self.channel.flow_delete(switch, rule.cookie, epoch=epoch)
+                self.channel.flow_mod(switch, rule, epoch=epoch)
 
     def hide_host(self, name: str) -> None:
         """Hide a failed/inconsistent node from *clients* (§3.3, §4.4).
@@ -416,11 +423,91 @@ class NiceControllerApp(ControllerApp):
         # vring exclusion happens in the caller's sync_partition() calls.
         return
 
-    def unhide_host(self, name: str) -> None:
+    def unhide_host(self, name: str, epoch: Optional[int] = None) -> None:
         """Re-assert the node's L3 entry (idempotent; see hide_host)."""
         rec = self.hosts.get(name)
         if rec is not None:
-            self._install_l3(rec)
+            self._install_l3(rec, epoch=epoch)
+
+    # -- takeover reconciliation (control-plane HA) ------------------------------------
+    def desired_state(self, switch) -> Tuple[Dict[str, List[Rule]], Dict[int, Group]]:
+        """Everything ``switch``'s tables *should* hold right now, keyed by
+        cookie / group id — the reference side of the reconciliation diff."""
+        info = self._info(switch)
+        rules: List[Rule] = list(self._static_rules(switch, info))
+        for rec in self.hosts.values():
+            rule = self._l3_rule(rec, switch, info)
+            if rule is not None:
+                rules.append(rule)
+        groups: Dict[int, Group] = {}
+        for rs in self.partition_map:
+            pre, group, post = self._partition_state(rs, switch, info)
+            rules.extend(pre)
+            rules.extend(post)
+            if group is not None:
+                groups[group.group_id] = group
+        by_cookie: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            by_cookie.setdefault(rule.cookie, []).append(rule)
+        return by_cookie, groups
+
+    @staticmethod
+    def _rules_equal(have: List[Rule], want: List[Rule]) -> bool:
+        if len(have) != len(want):
+            return False
+        key = lambda r: (-r.priority, str(r.match))
+        pairs = zip(sorted(have, key=key), sorted(want, key=key))
+        return all(
+            h.priority == w.priority
+            and h.match == w.match
+            and list(h.actions) == list(w.actions)
+            for h, w in pairs
+        )
+
+    @staticmethod
+    def _group_equal(have: Optional[Group], want: Group) -> bool:
+        return have is not None and list(have.buckets) == list(want.buckets)
+
+    def reconcile(self, epoch: Optional[int] = None) -> Dict[str, int]:
+        """Diff-based table repair after a takeover or controller↔switch
+        reconnect: recompute the desired ruleset from membership, compare
+        against each switch's installed contents by cookie, install what's
+        missing, delete what's orphaned, and leave matching rules untouched
+        so the switches' exact-match flow caches stay warm.  Rules injected
+        by the chaos engine (cookie ``chaos:*``) are outside the desired
+        state and deliberately left alone."""
+        stats = {"installed": 0, "deleted": 0, "matched": 0, "groups": 0}
+        for switch in self.channel.switches:
+            # Claim mastership first (generation-id bump): the fence must
+            # engage even if this switch needs zero repairs.
+            self.channel.role_claim(switch, epoch=epoch)
+            want_rules, want_groups = self.desired_state(switch)
+            have: Dict[str, List[Rule]] = {}
+            for rule in switch.table.iter_rules():
+                if not rule.cookie.startswith("chaos:"):
+                    have.setdefault(rule.cookie, []).append(rule)
+            for cookie in sorted(set(have) - set(want_rules)):
+                self.channel.flow_delete(switch, cookie, epoch=epoch)
+                stats["deleted"] += len(have[cookie])
+            for cookie in sorted(want_rules):
+                rules = want_rules[cookie]
+                if cookie in have and self._rules_equal(have[cookie], rules):
+                    stats["matched"] += len(rules)
+                    continue
+                if cookie in have:
+                    self.channel.flow_delete(switch, cookie, epoch=epoch)
+                    stats["deleted"] += len(have[cookie])
+                for rule in rules:
+                    self.channel.flow_mod(switch, rule, epoch=epoch)
+                    stats["installed"] += 1
+            for gid in sorted(set(switch.groups) - set(want_groups)):
+                self.channel.group_delete(switch, gid, epoch=epoch)
+                stats["groups"] += 1
+            for gid in sorted(want_groups):
+                if not self._group_equal(switch.groups.get(gid), want_groups[gid]):
+                    self.channel.group_mod(switch, want_groups[gid], epoch=epoch)
+                    stats["groups"] += 1
+        return stats
 
     # -- reactive path (packet-in) ----------------------------------------------------
     def on_packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:

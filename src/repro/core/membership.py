@@ -167,6 +167,10 @@ class PartitionMap:
         except KeyError:
             raise KeyError(f"unknown partition {partition}") from None
 
+    def install(self, rs: ReplicaSet) -> None:
+        """Replace one partition's replica set (membership-log replay)."""
+        self._sets[rs.partition] = rs
+
     def partitions_of(self, node: str) -> List[ReplicaSet]:
         """Every replica set ``node`` currently serves (member or handoff)."""
         return [rs for rs in self._sets.values() if rs.is_member(node)]

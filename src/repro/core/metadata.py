@@ -13,14 +13,23 @@ The service is the only component with complete membership knowledge.  It:
 * supports administrative ring reconfiguration (§4.4, Ring Re-Configuration);
 * pushes O(R) membership slices to affected replicas only, keeping
   maintenance O(S) switch messages + O(R) node messages per change (§4.1).
+
+For control-plane fault tolerance (``ClusterConfig.metadata_standbys``)
+the service additionally carries an **epoch** stamped on every flow-mod
+and membership message, appends every membership transition to a
+persisted :class:`~repro.core.controlplane_ha.MembershipLog` (replicated
+to standbys), and beats a leader heartbeat so standbys can detect its
+death and promote.  With no standbys configured (the default) all of
+that collapses to the original single-process behavior: epoch is the
+constant 1, the log is ``None``, and no leader beats are sent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..net import IPv4Address
-from ..sim import Counter, Simulator
+from ..sim import AnyOf, Counter, Simulator
 from ..transport import ProtocolStack
 from .config import (
     ACK_BYTES,
@@ -40,7 +49,15 @@ UP, DOWN, JOINING = "up", "down", "joining"
 
 
 class MetadataService:
-    """Runs on its own host; owns the partition map and the controller."""
+    """Runs on its own host; owns the partition map and the controller.
+
+    ``own_loops=False`` is the HA mode: a
+    :class:`~repro.core.controlplane_ha.MetadataReplica` owns the sockets
+    and forwards traffic in, so a promoted service can take over without
+    rebinding ports.  ``active`` gates every timed loop — a deposed
+    leader's service is deactivated in place and its still-running
+    processes become no-ops.
+    """
 
     def __init__(
         self,
@@ -49,12 +66,28 @@ class MetadataService:
         config: ClusterConfig,
         partition_map: PartitionMap,
         controller: NiceControllerApp,
+        epoch: int = 1,
+        peers: Iterable[IPv4Address] = (),
+        log=None,
+        own_loops: bool = True,
     ):
         self.sim = sim
         self.stack = stack
         self.config = config
         self.partition_map = partition_map
         self.controller = controller
+        #: Monotonically increasing leadership epoch; stamped on every
+        #: flow-mod and membership message so switches and nodes can fence
+        #: a deposed leader.  The build-time leader starts at 1.
+        self.epoch = epoch
+        self.peers: Tuple[IPv4Address, ...] = tuple(peers)
+        self.log = log
+        self.active = True
+        # Keep the controller's stamp in step: the reactive packet-in path
+        # stamps flow-mods with controller.epoch, and it must never lag the
+        # acting leader's epoch or the switches would fence it.
+        controller.epoch = epoch
+        controller.partition_map = partition_map
         self.status: Dict[str, str] = {}
         self.last_heartbeat: Dict[str, float] = {}
         #: Client IPs observed per partition (heartbeat workload stats, §4.5).
@@ -63,16 +96,28 @@ class MetadataService:
         self.failures_declared = Counter("meta.failures")
         self.rejoins_completed = Counter("meta.rejoins")
         self.membership_messages = Counter("meta.membership_msgs")
-        self._hb_inbox = stack.udp_bind(META_PORT)
-        self._ctl_inbox = stack.tcp.listen(META_PORT)
-        sim.process(self._heartbeat_loop())
-        sim.process(self._control_loop())
+        self.reconcile_passes = Counter("meta.reconciles")
+        if own_loops:
+            self._hb_inbox = stack.udp_bind(META_PORT)
+            self._ctl_inbox = stack.tcp.listen(META_PORT)
+            sim.process(self._heartbeat_loop())
+            sim.process(self._control_loop())
+        else:
+            self._hb_inbox = None
+            self._ctl_inbox = None
         sim.process(self._monitor_loop())
+        if self.peers:
+            sim.process(self._leader_beat_loop())
+        if self.log is not None and len(self.log) == 0:
+            self._log_append("init", slices=list(partition_map))
 
     # -- registration -------------------------------------------------------------
     def register_node(self, name: str) -> None:
         self.status[name] = UP
+        # Seed the liveness clock at registration: a node that dies before
+        # its first beat must still be declared within the miss limit.
         self.last_heartbeat[name] = self.sim.now
+        self._log_append("register", node=name)
 
     def node_ip(self, name: str) -> Optional[IPv4Address]:
         rec = self.controller.hosts.get(name)
@@ -81,49 +126,144 @@ class MetadataService:
     def live_nodes(self) -> List[str]:
         return [n for n, s in self.status.items() if s == UP]
 
-    # -- inbound loops ---------------------------------------------------------------
+    # -- inbound handlers ---------------------------------------------------------------
+    def on_heartbeat(self, body: dict) -> None:
+        if body.get("type") != "hb":
+            return
+        node = body["node"]
+        if self.status.get(node) == DOWN:
+            return  # must rejoin explicitly first (§4.4)
+        self.last_heartbeat[node] = self.sim.now
+        for partition, clients in (body.get("stats") or {}).items():
+            self.client_stats.setdefault(partition, set()).update(clients)
+
+    def handle_control(self, msg, body: dict):
+        """One TCP control message; a generator (``yield from``-able by the
+        HA replica wrapper)."""
+        kind = body.get("type")
+        if kind == "report_failure":
+            suspect = body["suspect"]
+            # Idempotent under races: a report for a node already mid-rejoin
+            # re-declares it (its rejoin restarts at phase 1), a report for
+            # a node already DOWN is a no-op.
+            if self.status.get(suspect) in (UP, JOINING):
+                self.declare_failed(suspect)
+            yield msg.conn.send({"type": "report_ack"}, ACK_BYTES)
+        elif kind == "rejoin":
+            if self._switch_channel_down():
+                # The §4.4 two-phase visibility protocol depends on the
+                # flow-mods landing; with the switch channel down they are
+                # dropped, which would leave a "joining" node invisible to
+                # puts yet later marked consistent.  Defer the node.
+                yield msg.conn.send({"type": "retry_later"}, ACK_BYTES)
+                return
+            reply = self.begin_rejoin(body["node"])
+            yield msg.conn.send(
+                {"type": "rejoin_ack", "epoch": self.epoch, **reply}, MEMBERSHIP_BYTES
+            )
+        elif kind == "consistent":
+            if self._switch_channel_down():
+                yield msg.conn.send({"type": "retry_later"}, ACK_BYTES)
+                return
+            self.complete_rejoin(body["node"])
+            yield msg.conn.send({"type": "consistent_ack"}, ACK_BYTES)
+        elif kind == "admin_remove":
+            self.admin_remove(body["node"])
+            yield msg.conn.send({"type": "admin_ack"}, ACK_BYTES)
+
+    def _switch_channel_down(self) -> bool:
+        """True while the controller's switch channel is severed (the
+        OpenFlow session drop is observable — echo timeouts in a real
+        controller; the chaos ``controller_crash`` fault here)."""
+        channel = getattr(self.controller, "channel", None)
+        return bool(getattr(channel, "down", False))
+
+    # -- inbound loops (single-process mode) ---------------------------------------------
     def _heartbeat_loop(self):
         while True:
             dgram = yield self._hb_inbox.get()
-            body = dgram.payload or {}
-            if body.get("type") != "hb":
-                continue
-            node = body["node"]
-            if self.status.get(node) == DOWN:
-                continue  # must rejoin explicitly first (§4.4)
-            self.last_heartbeat[node] = self.sim.now
-            for partition, clients in (body.get("stats") or {}).items():
-                self.client_stats.setdefault(partition, set()).update(clients)
+            self.on_heartbeat(dgram.payload or {})
+
+    def _control_loop(self):
+        while True:
+            msg = yield self._ctl_inbox.get()
+            yield from self.handle_control(msg, msg.payload or {})
 
     def _monitor_loop(self):
         interval = self.config.heartbeat_interval_s
         limit = self.config.heartbeat_miss_limit * interval
         while True:
             yield self.sim.timeout(interval)
+            # A deposed or crashed leader's monitor must not keep declaring
+            # failures (its clock of heartbeats stopped with its NIC).
+            if not self.active or not self.stack.host.up:
+                continue
             now = self.sim.now
             for node, state in list(self.status.items()):
-                if state == UP and now - self.last_heartbeat.get(node, now) > limit:
+                # JOINING nodes are monitored too: a node that dies
+                # mid-rejoin must not stay put-visible forever.  A missing
+                # entry counts as "never beat", not "fresh".
+                beat = self.last_heartbeat.get(node, float("-inf"))
+                if state in (UP, JOINING) and now - beat > limit:
                     self.declare_failed(node)
 
-    def _control_loop(self):
+    def _leader_beat_loop(self):
+        """Announce leadership to standbys on the same heartbeat cadence
+        nodes use; a standby promotes when the lease expires."""
+        interval = self.config.heartbeat_interval_s
         while True:
-            msg = yield self._ctl_inbox.get()
-            body = msg.payload or {}
-            kind = body.get("type")
-            if kind == "report_failure":
-                suspect = body["suspect"]
-                if self.status.get(suspect) == UP:
-                    self.declare_failed(suspect)
-                yield msg.conn.send({"type": "report_ack"}, ACK_BYTES)
-            elif kind == "rejoin":
-                reply = self.begin_rejoin(body["node"])
-                yield msg.conn.send({"type": "rejoin_ack", **reply}, MEMBERSHIP_BYTES)
-            elif kind == "consistent":
-                self.complete_rejoin(body["node"])
-                yield msg.conn.send({"type": "consistent_ack"}, ACK_BYTES)
-            elif kind == "admin_remove":
-                self.admin_remove(body["node"])
-                yield msg.conn.send({"type": "admin_ack"}, ACK_BYTES)
+            yield self.sim.timeout(interval)
+            if not self.active or not self.stack.host.up:
+                continue
+            self.send_leader_beat()
+
+    def send_leader_beat(self) -> None:
+        body = {"type": "leader_hb", "epoch": self.epoch, "ip": str(self.stack.ip)}
+        for ip in self.peers:
+            self.stack.udp_send(ip, META_PORT, body, HEARTBEAT_BYTES)
+
+    def set_peers(self, peers: Iterable[IPv4Address]) -> None:
+        """Late peer wiring (build-time: standbys are created after the
+        leader).  Starts the leader-beat loop on the 0→N transition so the
+        standby-less configuration never schedules it."""
+        had_peers = bool(self.peers)
+        self.peers = tuple(peers)
+        if self.peers and not had_peers:
+            self.sim.process(self._leader_beat_loop())
+
+    # -- membership log (control-plane HA) ------------------------------------------------
+    def _log_append(self, kind: str, node: str = "", slices: Iterable[ReplicaSet] = ()) -> None:
+        if self.log is None:
+            return
+        record = {
+            "kind": kind,
+            "epoch": self.epoch,
+            "node": node,
+            "slices": [rs.to_wire() for rs in slices],
+        }
+        self.log.append(record)
+        for ip in self.peers:
+            self.sim.process(self._replicate_record(ip, record))
+
+    def _replicate_record(self, ip: IPv4Address, record: dict):
+        send = self.stack.tcp.send_message(
+            ip, META_PORT,
+            {"type": "meta_log", "epoch": self.epoch, "record": record},
+            MEMBERSHIP_BYTES,
+        )
+        # Best-effort: a dead standby must not wedge the leader.
+        yield AnyOf(self.sim, [send, self.sim.timeout(self.config.peer_timeout_s * 4)])
+
+    def reconcile_switches(self) -> Dict[str, int]:
+        """Recompute the desired ruleset from membership and diff-repair
+        every switch (takeover / controller-reconnect path)."""
+        stats = self.controller.reconcile(epoch=self.epoch)
+        self.reconcile_passes.add()
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("reconcile", "ctrl", node=self.stack.host.name,
+                       epoch=self.epoch, **stats)
+        return stats
 
     # -- failure handling (§4.4) --------------------------------------------------------
     def declare_failed(self, node: str) -> None:
@@ -141,14 +281,18 @@ class MetadataService:
         for rs in affected:
             was_member = node in rs.members
             rs.mark_failed(node)
-            if was_member:
+            # One handoff per uncovered absence: re-declaring a node whose
+            # partitions already hold replacement handoffs (e.g. a failure
+            # report racing its rejoin) must not stack a second one.
+            if was_member and len(rs.absent) > len(rs.handoffs):
                 handoff = self._select_handoff(rs)
                 if handoff is not None:
                     rs.add_handoff(handoff)
         self.controller.hide_host(node)
         for rs in affected:
-            self.controller.sync_partition(rs.partition)
+            self.controller.sync_partition(rs.partition, epoch=self.epoch)
             self._inform_replicas(rs)
+        self._log_append("fail", node=node, slices=affected)
 
     def _select_handoff(self, rs: ReplicaSet) -> Optional[str]:
         eligible = self.partition_map.eligible_handoffs(rs.partition, self.live_nodes())
@@ -169,16 +313,18 @@ class MetadataService:
         """
         self.status[node] = JOINING
         self.last_heartbeat[node] = self.sim.now
-        self.controller.unhide_host(node)
+        self.controller.unhide_host(node, epoch=self.epoch)
         handoff_info = {}
         slices = []
-        for rs in self.partition_map.partitions_where_member(node):
+        affected = self.partition_map.partitions_where_member(node)
+        for rs in affected:
             rs.begin_rejoin(node)
-            self.controller.sync_partition(rs.partition)
+            self.controller.sync_partition(rs.partition, epoch=self.epoch)
             self._inform_replicas(rs)
             slices.append(rs.to_wire())
             if rs.handoffs:
                 handoff_info[rs.partition] = list(rs.handoffs)
+        self._log_append("rejoin_begin", node=node, slices=affected)
         # The reply carries the fresh O(R) slices so the node can start
         # participating in puts the moment it learns its handoffs.
         return {"handoffs": handoff_info, "replica_sets": slices}
@@ -195,13 +341,16 @@ class MetadataService:
         if self.status.get(node) == JOINING:
             self.rejoins_completed.add()
         self.status[node] = UP
-        self.controller.unhide_host(node)
+        self.controller.unhide_host(node, epoch=self.epoch)
+        completed = []
         for rs in self.partition_map.partitions_where_member(node):
             if node not in rs.joining:
                 continue
             released = rs.complete_rejoin(node)
-            self.controller.sync_partition(rs.partition)
+            self.controller.sync_partition(rs.partition, epoch=self.epoch)
             self._inform_replicas(rs, extra=released)
+            completed.append(rs)
+        self._log_append("rejoin_complete", node=node, slices=completed)
 
     # -- admin reconfiguration (§4.4, Ring Re-Configuration) -------------------------------
     def admin_add_to_replica_set(self, node: str, partition: int) -> None:
@@ -225,8 +374,9 @@ class MetadataService:
         rs.members.append(node)
         rs.absent.add(node)   # not yet consistent: hidden from gets
         rs.begin_rejoin(node)  # put-visible immediately
-        self.controller.sync_partition(partition)
+        self.controller.sync_partition(partition, epoch=self.epoch)
         self._inform_replicas(rs)
+        self._log_append("admin_add", node=node, slices=[rs])
 
     def admin_remove(self, node: str) -> None:
         """Permanently remove ``node``: hide it and erase it from membership."""
@@ -242,9 +392,10 @@ class MetadataService:
                 rs.joining.discard(node)
             if node in rs.handoffs:
                 rs.handoffs.remove(node)
-            self.controller.sync_partition(rs.partition)
+            self.controller.sync_partition(rs.partition, epoch=self.epoch)
             self._inform_replicas(rs)
         self.status.pop(node, None)
+        self._log_append("admin_remove", node=node, slices=affected)
 
     # -- pushing membership slices -----------------------------------------------------------
     def _inform_replicas(self, rs: ReplicaSet, extra: Optional[List[str]] = None) -> None:
@@ -261,5 +412,7 @@ class MetadataService:
 
     def _send_membership(self, ip: IPv4Address, wire: dict):
         yield self.stack.tcp.send_message(
-            ip, NODE_PORT, {"type": "membership", "replica_set": wire}, MEMBERSHIP_BYTES
+            ip, NODE_PORT,
+            {"type": "membership", "epoch": self.epoch, "replica_set": wire},
+            MEMBERSHIP_BYTES,
         )

@@ -98,7 +98,21 @@ class NiceStorageNode:
         self.config = config
         self.uni = unicast_vring
         self.mc = multicast_vring
-        self.metadata_ip = metadata_ip
+        #: Metadata control/heartbeat targets, preference order.  A single
+        #: address for the paper's one-process service; leader + standbys
+        #: under control-plane HA.  ``_meta_idx`` points at the current
+        #: target; it rotates on control timeouts and snaps to the leader
+        #: announced by ``meta_leader``/``meta_redirect`` messages.
+        if isinstance(metadata_ip, (list, tuple)):
+            self.metadata_ips: List[IPv4Address] = [
+                IPv4Address(ip) for ip in metadata_ip
+            ]
+        else:
+            self.metadata_ips = [IPv4Address(metadata_ip)]
+        self._meta_idx = 0
+        #: Highest metadata epoch seen; stale-epoch membership and control
+        #: messages from a deposed leader are fenced.
+        self.meta_epoch = 0
         #: name -> physical IP for the replicas this node talks to.  The
         #: builder hands over the full directory for convenience, but the
         #: node only ever addresses its O(R) replica-set peers.
@@ -143,6 +157,8 @@ class NiceStorageNode:
         self.gets_served = Counter(f"{name}.gets")
         self.gets_forwarded = Counter(f"{name}.gets_forwarded")
         self.aborts = Counter(f"{name}.aborts")
+        self.membership_fenced = Counter(f"{name}.membership_fenced")
+        self.meta_failovers = Counter(f"{name}.meta_failovers")
         sim.process(self._put_loop())
         sim.process(self._get_loop())
         sim.process(self._node_loop())
@@ -152,6 +168,58 @@ class NiceStorageNode:
     @property
     def ip(self) -> IPv4Address:
         return self.host.ip
+
+    @property
+    def metadata_ip(self) -> IPv4Address:
+        """The metadata target currently believed to be the leader."""
+        return self.metadata_ips[self._meta_idx]
+
+    # -------------------------------------------------------------- metadata targets
+    def _fence_meta(self, epoch) -> bool:
+        """True (and counted) if a control message carries a stale epoch."""
+        if epoch is None:
+            return False
+        if epoch < self.meta_epoch:
+            self.membership_fenced.add()
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.instant(
+                    "membership_fenced", "ctrl",
+                    node=self.name, epoch=epoch, current=self.meta_epoch,
+                )
+            return True
+        if epoch > self.meta_epoch:
+            self.meta_epoch = epoch
+        return False
+
+    def _fail_over_meta(self, target: IPv4Address) -> None:
+        """A control exchange with ``target`` timed out: drop any cached
+        transport state (half-open connections to a dead leader otherwise
+        look established forever) and rotate to the next candidate."""
+        self.stack.tcp.reset_peer(target)
+        if len(self.metadata_ips) > 1 and self.metadata_ips[self._meta_idx] == target:
+            self._meta_idx = (self._meta_idx + 1) % len(self.metadata_ips)
+            self.meta_failovers.add()
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.instant(
+                    "meta_failover", "ctrl",
+                    node=self.name, target=str(self.metadata_ip),
+                )
+
+    def _adopt_meta_leader(self, epoch, ip_str) -> None:
+        """Point heartbeats/control at an announced leader (``meta_leader``
+        broadcast after a takeover, or a standby's redirect)."""
+        if not ip_str or epoch is None or epoch < self.meta_epoch:
+            return
+        self.meta_epoch = max(self.meta_epoch, epoch)
+        ip = IPv4Address(ip_str)
+        if ip not in self.metadata_ips:
+            self.metadata_ips.append(ip)
+        if self.metadata_ip != ip:
+            self.stack.tcp.reset_peer(self.metadata_ip)
+            self._meta_idx = self.metadata_ips.index(ip)
+            self.meta_failovers.add()
 
     def install_replica_set(self, rs: ReplicaSet) -> None:
         """Seed/update this node's O(R) membership slice."""
@@ -559,6 +627,16 @@ class NiceStorageNode:
                 span.end(status="forwarded_stale")
             return
         else:
+            rs = self.replica_sets.get(partition)
+            if rs is not None and self.name in rs.absent and self.name not in rs.handoffs:
+                # Member but not get-visible (failed/mid-rejoin): a stale
+                # rule routed the get here — e.g. the controller crashed
+                # before the post-failure flow-mods landed.  The local
+                # store may be arbitrarily behind; forward to the primary.
+                yield from self._forward_get(partition, body)
+                if span is not None:
+                    span.end(status="forwarded_joining")
+                return
             obj = self.store.get(key)
         yield from self._reply_get(body, obj)
         if span is not None:
@@ -608,7 +686,23 @@ class NiceStorageNode:
             elif kind == "put_ack2":
                 self._record_ack(tuple(body["op_id"]), body["node"], phase=2)
             elif kind == "membership":
-                self._on_membership(ReplicaSet.from_wire(body["replica_set"]))
+                if not self._fence_meta(body.get("epoch")):
+                    self._on_membership(ReplicaSet.from_wire(body["replica_set"]))
+            elif kind == "meta_leader":
+                # A standby took over: re-point heartbeats and control.
+                self._adopt_meta_leader(body.get("epoch"), body.get("ip"))
+            elif kind == "rejoin_restart":
+                # The new leader found us mid-rejoin in the replayed log:
+                # our phase-1 state did not survive the takeover, so the
+                # rejoin restarts from the beginning (§4.4 semantics hold:
+                # we are still absent, hence not get-visible).
+                if (
+                    not self._fence_meta(body.get("epoch"))
+                    and not self._rejoining
+                    and self.host.up
+                ):
+                    self._adopt_meta_leader(body.get("epoch"), body.get("ip"))
+                    self.sim.process(self._rejoin())
             elif kind == "get_forward":
                 self.sim.process(self._on_get_forward(body["request"]))
             elif kind == "query_locks":
@@ -907,12 +1001,18 @@ class NiceStorageNode:
         self._timeout_strikes[peer] = self._timeout_strikes.get(peer, 0) + 1
         if self._timeout_strikes[peer] >= 2:
             self._timeout_strikes[peer] = 0
-            yield self.stack.tcp.send_message(
-                self.metadata_ip,
-                META_PORT,
-                {"type": "report_failure", "suspect": peer, "reporter": self.name},
-                REQUEST_BYTES,
-            )
+            body = {"type": "report_failure", "suspect": peer, "reporter": self.name}
+            # Bounded send with target failover: the report must not wedge
+            # this process forever on a dead metadata leader.
+            for _ in range(max(2, len(self.metadata_ips))):
+                target = self.metadata_ip
+                send = self.stack.tcp.send_message(target, META_PORT, body, REQUEST_BYTES)
+                got = yield AnyOf(
+                    self.sim, [send, self.sim.timeout(self.config.peer_timeout_s * 2)]
+                )
+                if send in got:
+                    return
+                self._fail_over_meta(target)
 
     # ------------------------------------------------------------------ heartbeats & stats
     def _heartbeat_loop(self):
@@ -932,13 +1032,28 @@ class NiceStorageNode:
     # ------------------------------------------------------------------ rejoin (§4.4)
     def _rejoin(self):
         """Contact the metadata service, fetch what we missed, report
-        consistency.  Returns the number of objects recovered."""
+        consistency.  Returns the number of objects recovered.
+
+        Phase 1 (``rejoin``) must succeed before anything else happens: a
+        node that never became put-visible must not report ``consistent``
+        (it would be made get-visible with an arbitrarily stale store).
+        The request retries with backoff — the metadata leader may be
+        failing over, or deferring us while its switch channel is down.
+        """
         self._rejoining = True
-        reply = yield from self._request_meta(
-            {"type": "rejoin", "node": self.name}, reply_type="rejoin_ack"
-        )
-        recovered = 0
-        if reply is not None:
+        try:
+            reply = None
+            for _ in range(8):
+                reply = yield from self._request_meta(
+                    {"type": "rejoin", "node": self.name}, reply_type="rejoin_ack"
+                )
+                if reply is not None or not self.host.up:
+                    break
+                yield self.sim.timeout(self.config.peer_timeout_s)
+            if reply is None:
+                return 0
+            self._fence_meta(reply.get("epoch"))
+            recovered = 0
             for wire in reply.get("replica_sets") or []:
                 self._on_membership(ReplicaSet.from_wire(wire))
             for partition, handoffs in (reply.get("handoffs") or {}).items():
@@ -958,19 +1073,57 @@ class NiceStorageNode:
                         yield self.disk.write(size, forced=True)
                         self.store.put(StoredObject(name, value, size, stamp))
                         recovered += 1
-        yield from self._request_meta(
-            {"type": "consistent", "node": self.name}, reply_type="consistent_ack"
-        )
-        self._rejoining = False
-        return recovered
+            # ``complete_rejoin`` is idempotent on the service side, so
+            # retrying a lost ack is safe.
+            for _ in range(3):
+                ack = yield from self._request_meta(
+                    {"type": "consistent", "node": self.name},
+                    reply_type="consistent_ack",
+                )
+                if ack is not None:
+                    break
+            return recovered
+        finally:
+            self._rejoining = False
 
     def _request_meta(self, body: dict, reply_type: str):
-        conn = yield self.stack.tcp.send_message(
-            self.metadata_ip, META_PORT, body, REQUEST_BYTES
-        )
-        get = conn.inbox.get(lambda m: (m.payload or {}).get("type") == reply_type)
-        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s * 4)])
-        if get in got:
-            return got[get].payload
-        conn.inbox.cancel(get)
+        """One metadata request/response, with control-target failover.
+
+        Copes with three failure shapes: the send wedging on a dead leader
+        (bounded, then ``reset_peer`` + rotate targets), a standby
+        redirecting us to the leader it follows (``meta_redirect``), and a
+        live leader deferring the request (``retry_later`` — e.g. a rejoin
+        while the controller channel is down and visibility flow-mods
+        cannot be staged).
+        """
+        accept = (reply_type, "meta_redirect", "retry_later")
+        wait = self.config.peer_timeout_s * 4
+        attempts = 2 * max(1, len(self.metadata_ips))
+        patience = 12
+        while attempts > 0 and patience > 0:
+            target = self.metadata_ip
+            send = self.stack.tcp.send_message(target, META_PORT, body, REQUEST_BYTES)
+            got = yield AnyOf(self.sim, [send, self.sim.timeout(wait)])
+            if send not in got:
+                attempts -= 1
+                self._fail_over_meta(target)
+                continue
+            conn = got[send]
+            get = conn.inbox.get(lambda m: (m.payload or {}).get("type") in accept)
+            got = yield AnyOf(self.sim, [get, self.sim.timeout(wait)])
+            if get not in got:
+                conn.inbox.cancel(get)
+                attempts -= 1
+                self._fail_over_meta(target)
+                continue
+            payload = got[get].payload or {}
+            kind = payload.get("type")
+            if kind == reply_type:
+                return payload
+            patience -= 1
+            if kind == "meta_redirect":
+                self._adopt_meta_leader(payload.get("epoch"), payload.get("ip"))
+                continue
+            # retry_later: the leader is up but cannot act yet.
+            yield self.sim.timeout(self.config.peer_timeout_s)
         return None

@@ -27,7 +27,8 @@ from ..transport import ProtocolStack
 from .client import NiceClient
 from .config import ClusterConfig
 from .controller import NiceControllerApp
-from .membership import PartitionMap
+from .controlplane_ha import ControlPlaneHA, MetadataReplica
+from .membership import PartitionMap, ReplicaSet
 from .metadata import MetadataService
 from .storage_node import NiceStorageNode
 from .vring import VirtualRing
@@ -60,7 +61,7 @@ class NiceCluster:
         self.mc_vring = VirtualRing(cfg.multicast_vring, cfg.n_partitions)
 
         node_names = [f"n{i}" for i in range(cfg.n_storage_nodes)]
-        self.partition_map = PartitionMap.build(
+        partition_map = PartitionMap.build(
             node_names,
             cfg.n_partitions,
             cfg.replication_level,
@@ -68,7 +69,7 @@ class NiceCluster:
         )
 
         self.controller = NiceControllerApp(
-            cfg, self.partition_map, self.uni_vring, self.mc_vring
+            cfg, partition_map, self.uni_vring, self.mc_vring
         )
         self.control_plane = ControlPlane(
             self.sim, self.controller, latency_s=cfg.controller_latency_s
@@ -102,6 +103,17 @@ class NiceCluster:
             self.switch, meta_host, cfg.link_bandwidth_bps, cfg.link_latency_s
         )
         self.controller.register_host("meta", meta_host.ip, meta_host.mac)
+
+        standby_hosts: List[Host] = []
+        for i in range(1, cfg.metadata_standbys + 1):
+            standby = Host(self.sim, f"meta{i}", METADATA_IP + i, MacAddress(mac))
+            mac += 1
+            self.network.register(standby)
+            self.network.connect(
+                self.switch, standby, cfg.link_bandwidth_bps, cfg.link_latency_s
+            )
+            self.controller.register_host(f"meta{i}", standby.ip, standby.mac)
+            standby_hosts.append(standby)
 
         client_hosts: List[Host] = []
         stride = max(1, cfg.client_space.num_addresses // max(cfg.n_clients, 1))
@@ -140,10 +152,27 @@ class NiceCluster:
         self.controller.sync_all()
 
         # -- services ----------------------------------------------------------
-        meta_stack = ProtocolStack(self.sim, meta_host)
-        self.metadata = MetadataService(
-            self.sim, meta_stack, cfg, self.partition_map, self.controller
-        )
+        if cfg.metadata_standbys > 0:
+            # HA mode: the replicas own the metadata sockets and the
+            # membership log; rank 0 leads at epoch 1.
+            self.metadata_ha = ControlPlaneHA(self.sim, cfg, self.controller)
+            primary = MetadataReplica(
+                self.sim, meta_host, cfg, self.controller, self.metadata_ha, rank=0
+            )
+            self.metadata = primary.lead(partition_map, epoch=1)
+            for i, standby in enumerate(standby_hosts, start=1):
+                MetadataReplica(
+                    self.sim, standby, cfg, self.controller, self.metadata_ha, rank=i
+                )
+            self.metadata_ha.finalize()
+            meta_targets = [METADATA_IP] + [h.ip for h in standby_hosts]
+        else:
+            self.metadata_ha = None
+            meta_stack = ProtocolStack(self.sim, meta_host)
+            self.metadata = MetadataService(
+                self.sim, meta_stack, cfg, partition_map, self.controller
+            )
+            meta_targets = [METADATA_IP]
 
         self.nodes: Dict[str, NiceStorageNode] = {}
         for host, name in zip(storage_hosts, node_names):
@@ -154,12 +183,18 @@ class NiceCluster:
                 cfg,
                 self.uni_vring,
                 self.mc_vring,
-                METADATA_IP,
+                meta_targets,
                 self.directory,
                 rng=self.rng.stream(f"mc-loss:{name}") if cfg.multicast_chunk_loss else None,
             )
             self.metadata.register_node(name)
-            for rs in self.partition_map.partitions_of(name):
+            for rs in partition_map.partitions_of(name):
+                if cfg.metadata_standbys > 0:
+                    # A private copy per node: a deposed leader replaying
+                    # old state must not be able to mutate node views
+                    # through shared objects (epoch fencing guards the
+                    # message path; this guards the reference path).
+                    rs = ReplicaSet.from_wire(rs.to_wire())
                 node.install_replica_set(rs)
             self.nodes[name] = node
 
@@ -169,6 +204,23 @@ class NiceCluster:
         ]
 
     # -- conveniences -------------------------------------------------------------
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The authoritative map: the acting leader rebinds the controller's
+        reference on takeover, so reading through it always sees the
+        current leader's copy."""
+        return self.controller.partition_map
+
+    @property
+    def metadata_active(self) -> MetadataService:
+        """The acting metadata leader (falls back to the build-time
+        primary when no HA replica currently leads)."""
+        if self.metadata_ha is not None:
+            service = self.metadata_ha.active_service
+            if service is not None:
+                return service
+        return self.metadata
+
     def warm_up(self, duration: float = 0.05) -> None:
         """Let flow-mods land and heartbeats start before measuring."""
         self.sim.run(until=self.sim.now + duration)

@@ -5,6 +5,17 @@ TCP control connection in reality; here each message is applied after a
 configurable one-way latency.  The channel also counts messages so the
 membership-maintenance scalability claim (§4.1: O(S) switch updates per
 membership change) can be measured directly.
+
+For control-plane fault tolerance, table-mutating messages may carry an
+**epoch**: the switch fences any flow-mod stamped older than the highest
+epoch it has seen, so a deposed metadata leader / controller cannot
+corrupt tables after a takeover.  Unstamped messages (``epoch=None`` and
+no ``epoch`` attribute on the controller) bypass fencing — the legacy
+single-controller path is unchanged.  The channel can also be taken
+``down`` (controller crash): while down every message in both directions
+is dropped and table-miss packets are discarded at the switch, which
+keeps forwarding on its installed rules — the standard SDN
+fail-standalone behavior.
 """
 
 from __future__ import annotations
@@ -46,14 +57,33 @@ class ControlPlane:
         controller.channel = self
         self.messages_to_switch = Counter("ctrl.to_switch")
         self.messages_to_controller = Counter("ctrl.to_controller")
+        #: Controller outage flag (chaos ``controller_crash``).
+        self.down = False
+        self.dropped_down = Counter("ctrl.dropped_down")
 
     def attach(self, switch) -> None:
         """Register ``switch`` under this controller."""
         switch.controller = self.controller
         self.switches.append(switch)
 
+    def set_down(self, down: bool) -> None:
+        """Controller outage: while down, every control message (both
+        directions) is dropped — switches keep forwarding on installed
+        rules, table-miss packets are discarded instead of buffered
+        forever."""
+        self.down = bool(down)
+
+    def _epoch(self, epoch: Optional[int]) -> Optional[int]:
+        if epoch is not None:
+            return epoch
+        return getattr(self.controller, "epoch", None)
+
     # -- switch -> controller -------------------------------------------------
     def packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
+        if self.down:
+            self.dropped_down.add()
+            switch.drop_buffered(buffer_id)
+            return
         self.messages_to_controller.add()
         self.sim.call_in(
             self.latency_s,
@@ -65,41 +95,118 @@ class ControlPlane:
         )
 
     # -- controller -> switch ---------------------------------------------------
-    def flow_mod(self, switch, rule: Rule, done: Optional[Callable] = None) -> None:
+    def flow_mod(
+        self,
+        switch,
+        rule: Rule,
+        done: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
         """Install ``rule`` on ``switch`` after the control latency."""
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
-        self.sim.call_in(self.latency_s, self._apply, switch.install_rule, rule, done)
+        self.sim.call_in(
+            self.latency_s, self._apply, switch, self._epoch(epoch),
+            switch.install_rule, rule, done,
+        )
 
-    def flow_delete(self, switch, cookie: str, done: Optional[Callable] = None) -> None:
+    def flow_delete(
+        self,
+        switch,
+        cookie: str,
+        done: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
         """Delete all rules with ``cookie`` on ``switch``."""
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
-        self.sim.call_in(self.latency_s, self._apply, switch.remove_cookie, cookie, done)
+        self.sim.call_in(
+            self.latency_s, self._apply, switch, self._epoch(epoch),
+            switch.remove_cookie, cookie, done,
+        )
 
-    def group_mod(self, switch, group: Group, done: Optional[Callable] = None) -> None:
+    def group_mod(
+        self,
+        switch,
+        group: Group,
+        done: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
-        self.sim.call_in(self.latency_s, self._apply, switch.install_group, group, done)
+        self.sim.call_in(
+            self.latency_s, self._apply, switch, self._epoch(epoch),
+            switch.install_group, group, done,
+        )
 
-    def group_delete(self, switch, group_id: int, done: Optional[Callable] = None) -> None:
+    def group_delete(
+        self,
+        switch,
+        group_id: int,
+        done: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
-        self.sim.call_in(self.latency_s, self._apply, switch.remove_group, group_id, done)
+        self.sim.call_in(
+            self.latency_s, self._apply, switch, self._epoch(epoch),
+            switch.remove_group, group_id, done,
+        )
+
+    def role_claim(self, switch, epoch: Optional[int] = None) -> None:
+        """OFPT_ROLE_REQUEST-style mastership claim: advance the switch's
+        controller epoch (OpenFlow generation_id) without touching tables.
+
+        A new leader sends this before/with its reconciliation pass so the
+        fence engages even when reconcile finds nothing to repair —
+        otherwise a deposed leader whose epoch was never superseded *at
+        the switch* could still mutate rules."""
+        if self.down:
+            self.dropped_down.add()
+            return
+        self.messages_to_switch.add()
+        self.sim.call_in(self.latency_s, switch.accept_epoch, self._epoch(epoch))
 
     def packet_out(self, switch, packet: Packet, actions, done: Optional[Callable] = None) -> None:
         """Inject ``packet`` at ``switch`` and run ``actions`` on it."""
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
         self.sim.call_in(
-            self.latency_s, self._apply, switch.apply_actions, (packet, actions, 0), done
+            self.latency_s, self._apply, switch, None,
+            switch.apply_actions, (packet, actions, 0), done,
         )
 
     def release_buffered(self, switch, buffer_id: int) -> None:
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
         self.sim.call_in(self.latency_s, switch.release_buffered, buffer_id)
 
     def drop_buffered(self, switch, buffer_id: int) -> None:
+        if self.down:
+            self.dropped_down.add()
+            return
         self.messages_to_switch.add()
         self.sim.call_in(self.latency_s, switch.drop_buffered, buffer_id)
 
     @staticmethod
-    def _apply(func: Callable, arg, done: Optional[Callable]) -> None:
+    def _apply(switch, epoch: Optional[int], func: Callable, arg, done: Optional[Callable]) -> None:
+        # The fence is checked at apply time (after the channel latency):
+        # what matters is the highest epoch the switch has seen when the
+        # message *lands*, not when it was sent.
+        if not switch.accept_epoch(epoch):
+            return
         if isinstance(arg, tuple):
             func(*arg)
         else:

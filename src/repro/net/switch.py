@@ -67,6 +67,12 @@ class OpenFlowSwitch(Device):
         self.forwarded = Counter(f"{name}.forwarded")
         self.table_misses = Counter(f"{name}.table_misses")
         self.dropped = Counter(f"{name}.dropped")
+        #: Highest controller epoch seen on this switch.  Flow-mods stamped
+        #: with an older epoch come from a deposed controller/metadata
+        #: leader and are fenced (§4.4-style zombie guard for the control
+        #: plane).  0 accepts everything until a stamped message arrives.
+        self.control_epoch = 0
+        self.fenced_mods = Counter(f"{name}.fenced_mods")
 
     # -- data plane ---------------------------------------------------------
     def handle_packet(self, packet: Packet, in_port: Port) -> None:
@@ -189,6 +195,27 @@ class OpenFlowSwitch(Device):
         return len(self._buffered)
 
     # -- table management (invoked via the control plane) ---------------------
+    def accept_epoch(self, epoch: Optional[int]) -> bool:
+        """Epoch fence for control messages.
+
+        ``None`` means an unstamped (legacy / reactive) message and always
+        passes; otherwise the message is accepted only if it is at least as
+        new as the highest epoch seen, and the switch adopts that epoch.
+        """
+        if epoch is None:
+            return True
+        if epoch < self.control_epoch:
+            self.fenced_mods.add()
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.instant(
+                    "fenced_mod", "ctrl", node=self.name,
+                    epoch=epoch, current=self.control_epoch,
+                )
+            return False
+        self.control_epoch = epoch
+        return True
+
     def install_rule(self, rule: Rule) -> Rule:
         return self.table.add(rule)
 

@@ -150,6 +150,25 @@ class MetricsRegistry:
                           lambda t=table: t.cache_misses)
         for gw in getattr(cluster, "gateways", []):
             reg.collect_object(gw, f"{p}gateway.{gw.host.name}")
+        ctrl = getattr(cluster, "control_plane", None)
+        if ctrl is not None:
+            reg.collect_object(ctrl, f"{p}controlplane")
+        metadata = getattr(cluster, "metadata", None)
+        if metadata is not None:
+            reg.collect_object(metadata, f"{p}metadata")
+            reg.gauge(
+                f"{p}metadata.epoch",
+                lambda c=cluster: getattr(
+                    getattr(c, "metadata_active", None) or c.metadata, "epoch", 0
+                ),
+            )
+        ha = getattr(cluster, "metadata_ha", None)
+        if ha is not None:
+            reg.collect_object(ha, f"{p}metadata.ha")
+            reg.gauge(
+                f"{p}metadata.ha.log_records",
+                lambda h=ha: max(len(r.log) for r in h.replicas),
+            )
         network = getattr(cluster, "network", None)
         for link in getattr(network, "links", []):
             for channel in link.channels:

@@ -1,0 +1,221 @@
+"""Unit tests for control-plane HA: membership log replay, epoch fencing,
+standby promotion, reconciliation diffs, and the detection edge cases the
+HA work hardened (dead-at-registration nodes, racing failure reports)."""
+
+import dataclasses
+
+from repro.core import ClusterConfig, NiceCluster, replay_log
+from repro.core.metadata import DOWN, JOINING, UP
+
+
+def make_cluster(**kw):
+    defaults = dict(n_storage_nodes=6, n_clients=2, replication_level=3)
+    defaults.update(kw)
+    cluster = NiceCluster(ClusterConfig(**defaults))
+    cluster.warm_up()
+    return cluster
+
+
+def make_ha_cluster(**kw):
+    kw.setdefault("metadata_standbys", 1)
+    return make_cluster(**kw)
+
+
+# -- satellite: liveness clock seeded at registration ------------------------
+
+def test_node_dead_at_registration_is_declared():
+    """A node that crashes before sending its first heartbeat must still
+    be declared within the miss limit (the liveness clock is seeded at
+    ``register_node`` time, not at first beat)."""
+    cluster = NiceCluster(ClusterConfig(n_storage_nodes=6, n_clients=1))
+    cfg = cluster.config
+    cluster.nodes["n4"].host.fail()  # dead at t=0: zero beats ever sent
+    assert "n4" in cluster.metadata.last_heartbeat
+    deadline = cfg.heartbeat_interval_s * (cfg.heartbeat_miss_limit + 2)
+    cluster.sim.run(until=deadline)
+    assert cluster.metadata.status["n4"] == DOWN
+
+
+# -- satellite: idempotent failure declaration under races -------------------
+
+def test_redeclare_during_rejoin_does_not_stack_handoffs():
+    """report_failure racing a rejoin: the re-declaration restarts the
+    node at phase 1 but must not install a second handoff on a replica
+    set that already holds a replacement."""
+    cluster = make_cluster()
+    meta = cluster.metadata
+    victim = "n1"
+    meta.declare_failed(victim)
+    rs = next(iter(cluster.partition_map.partitions_of(victim)))
+    assert victim in rs.absent
+    assert len(rs.handoffs) == 1
+
+    meta.begin_rejoin(victim)           # phase 1: node is JOINING
+    assert meta.status[victim] == JOINING
+    meta.declare_failed(victim)         # racing peer report lands now
+    assert meta.status[victim] == DOWN
+    assert len(rs.handoffs) == 1        # replacement kept, not stacked
+
+    meta.declare_failed(victim)         # duplicate report: pure no-op
+    assert len(rs.handoffs) == 1
+    assert meta.failures_declared.value == 2  # UP->DOWN, JOINING->DOWN
+
+
+# -- membership log replay ---------------------------------------------------
+
+def test_replay_log_reconstructs_map_and_status():
+    cluster = make_ha_cluster()
+    meta = cluster.metadata
+    meta.declare_failed("n2")
+    meta.begin_rejoin("n5")  # leave one node mid-rejoin in the log
+
+    pm, status = replay_log(meta.log.records())
+    assert status["n2"] == DOWN
+    assert status["n5"] == JOINING  # mid-rejoin replays as JOINING
+    assert {n for n, s in status.items() if s == UP} == {"n0", "n1", "n3", "n4"}
+    live = {rs.partition: rs.to_wire() for rs in cluster.partition_map}
+    replayed = {rs.partition: rs.to_wire() for rs in pm}
+    assert replayed == live
+
+
+# -- promotion ---------------------------------------------------------------
+
+def test_standby_promotes_and_mints_next_epoch():
+    cluster = make_ha_cluster()
+    ha = cluster.metadata_ha
+    cfg = cluster.config
+    assert ha.leader.host.name == "meta"
+    ha.replica_named("meta").crash()
+    lease = cfg.heartbeat_miss_limit * cfg.heartbeat_interval_s
+    cluster.sim.run(until=cluster.sim.now + 3 * lease)
+    assert ha.promotions.value == 1
+    leader = ha.leader
+    assert leader.host.name == "meta1"
+    assert leader.service.epoch == 2
+    # The reactive packet-in path stamps with controller.epoch: it must
+    # track the acting leader or switches would fence the controller.
+    assert cluster.controller.epoch == 2
+
+
+def test_returning_old_leader_demotes_and_resyncs_log():
+    cluster = make_ha_cluster()
+    ha = cluster.metadata_ha
+    cfg = cluster.config
+    old = ha.replica_named("meta")
+    old.crash()
+    lease = cfg.heartbeat_miss_limit * cfg.heartbeat_interval_s
+    cluster.sim.run(until=cluster.sim.now + 3 * lease)
+    assert ha.leader.host.name == "meta1"
+    old.recover()
+    cluster.sim.run(until=cluster.sim.now + 3 * lease)
+    assert ha.demotions.value == 1
+    assert old.role == "standby"
+    assert ha.leader.host.name == "meta1"
+    # Post-demotion log sync: both replicas hold the same history.
+    assert old.log.records() == ha.leader.log.records()
+
+
+# -- epoch fencing -----------------------------------------------------------
+
+def test_switch_fences_stale_epochs_only():
+    cluster = make_cluster()
+    sw = cluster.switch
+    fenced0 = sw.fenced_mods.value
+    assert sw.accept_epoch(None)      # legacy unstamped path: never fenced
+    assert sw.accept_epoch(2)
+    assert not sw.accept_epoch(1)     # stale leader
+    assert sw.accept_epoch(2)         # current epoch stays valid
+    assert sw.accept_epoch(3)
+    assert sw.fenced_mods.value == fenced0 + 1
+    assert sw.control_epoch == 3
+
+
+def test_node_fences_stale_membership_epoch():
+    cluster = make_ha_cluster()
+    node = cluster.nodes["n0"]
+    node.meta_epoch = 2
+    assert node._fence_meta(1)        # stale: fenced
+    assert not node._fence_meta(2)    # current: accepted
+    assert not node._fence_meta(None)  # unstamped legacy path: accepted
+    assert not node._fence_meta(3)    # newer: adopted
+    assert node.meta_epoch == 3
+    assert node.membership_fenced.value == 1
+
+
+# -- reconciliation ----------------------------------------------------------
+
+def test_reconcile_settled_cluster_is_noop():
+    cluster = make_cluster()
+    stats = cluster.controller.reconcile()
+    assert stats["installed"] == 0
+    assert stats["deleted"] == 0
+    assert stats["matched"] > 0
+
+
+def test_reconcile_repairs_only_the_diff():
+    cluster = make_cluster()
+    sw = cluster.switch
+    # Keep an untouched rule's identity to prove matching rules survive
+    # reconciliation in place (flow caches stay warm).
+    survivor = next(r for r in sw.table.iter_rules() if r.cookie == "arp")
+    # Damage the table: drop one legitimate rule, add one stray.
+    victim_cookie = next(
+        r.cookie for r in sw.table.iter_rules() if r.cookie.startswith("uni:")
+    )
+    sw.remove_cookie(victim_cookie)
+    stray = dataclasses.replace(survivor, cookie="stray:test")
+    sw.install_rule(stray)
+
+    stats = cluster.controller.reconcile()
+    cluster.sim.run(until=cluster.sim.now + 0.01)  # let flow-mods land
+
+    assert stats["installed"] >= 1
+    assert stats["deleted"] == 1
+    cookies = {r.cookie for r in sw.table.iter_rules()}
+    assert victim_cookie in cookies
+    assert "stray:test" not in cookies
+    assert survivor in list(sw.table.iter_rules())  # same object, untouched
+
+
+# -- satellite: failover while a heartbeat/control exchange is in flight -----
+
+def test_promotion_completes_with_control_exchange_in_flight():
+    """Crash the metadata primary while a node's failure report is in
+    flight toward it: the standby must still promote, the node must fail
+    over (resetting cached TCP state toward the dead primary), and the
+    striker's report must land at the new leader."""
+    cluster = make_ha_cluster()
+    ha = cluster.metadata_ha
+    cfg = cluster.config
+    reporter = cluster.nodes["n0"]
+    resets = []
+    orig_reset = reporter.stack.tcp.reset_peer
+    reporter.stack.tcp.reset_peer = lambda ip: (resets.append(ip), orig_reset(ip))
+
+    old_ip = ha.replica_named("meta").host.ip
+
+    def strikes():
+        yield from reporter._strike("n3")
+        yield from reporter._strike("n3")
+
+    def driver(sim):
+        cluster.nodes["n3"].host.fail()
+        yield sim.timeout(0.01)
+        sim.process(strikes())
+        yield sim.timeout(0.001)  # report now in flight toward the primary
+        ha.replica_named("meta").crash()
+
+    cluster.sim.process(driver(cluster.sim))
+    lease = cfg.heartbeat_miss_limit * cfg.heartbeat_interval_s
+    cluster.sim.run(until=cluster.sim.now + 6 * lease)
+
+    assert ha.promotions.value == 1
+    leader = ha.leader
+    assert leader.host.name == "meta1"
+    # The striker rotated to the standby and dropped TCP state toward the
+    # dead primary.
+    assert reporter.metadata_ip == leader.host.ip
+    assert old_ip in resets
+    assert reporter.meta_failovers.value >= 1
+    # The in-flight report was not lost: the new leader knows n3 is down.
+    assert leader.service.status["n3"] == DOWN
