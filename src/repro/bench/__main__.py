@@ -167,6 +167,15 @@ def main(argv=None) -> int:
         help="chaos suite only: output JSON path (default BENCH_chaos.json)",
     )
     parser.add_argument(
+        "--sim-mode", choices=("exact", "approx"), default=None,
+        help="simulation fidelity for every cluster built during the run "
+             "(DESIGN.md §5g).  'approx' aggregates steady-state data-plane "
+             "flows analytically for a large speedup at ±few-%% accuracy; "
+             "protocol traffic stays discrete.  Forces --jobs 1 and "
+             "--no-cache (the cell cache is keyed on params + source, not "
+             "sim mode).  Default: exact",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a sim-time trace of every cluster built during the "
              "run; written as Chrome trace JSON (open in chrome://tracing "
@@ -186,11 +195,26 @@ def main(argv=None) -> int:
         jobs = 1
         cache_dir = None
         obs_runtime.start(args.trace)
+    prior_sim_mode = None
+    if args.sim_mode == "approx":
+        if args.jobs is not None and args.jobs != 1:
+            print(f"--sim-mode approx: overriding --jobs {args.jobs} -> 1",
+                  file=sys.stderr)
+        jobs = 1
+        cache_dir = None
+    if args.sim_mode is not None:
+        from ..core import set_default_sim_mode
+
+        prior_sim_mode = set_default_sim_mode(args.sim_mode)
     prior_config = parallel.configure(jobs=jobs, cache_dir=cache_dir)
     try:
         return _run(parser, args, n_ops, jobs)
     finally:
         parallel.configure(**prior_config)
+        if prior_sim_mode is not None:
+            from ..core import set_default_sim_mode
+
+            set_default_sim_mode(prior_sim_mode)
         session = obs_runtime.stop()
         if session is not None and session.tracers:
             summary = session.export()

@@ -14,6 +14,7 @@ from .config import (
     NODE_PORT,
     PUT_PORT,
     REQUEST_BYTES,
+    set_default_sim_mode,
 )
 from .controller import HostRecord, NiceControllerApp
 from .controlplane_ha import (
@@ -53,5 +54,6 @@ __all__ = [
     "REQUEST_BYTES",
     "ReplicaSet",
     "replay_log",
+    "set_default_sim_mode",
     "VirtualRing",
 ]

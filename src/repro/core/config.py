@@ -14,6 +14,7 @@ from ..net import GBPS, IPv4Network
 
 __all__ = [
     "ClusterConfig",
+    "set_default_sim_mode",
     "GET_PORT",
     "PUT_PORT",
     "NODE_PORT",
@@ -45,6 +46,27 @@ ACK_BYTES = 64
 COMMIT_BYTES = 128
 HEARTBEAT_BYTES = 256
 MEMBERSHIP_BYTES = 512
+
+#: Process-wide default for :attr:`ClusterConfig.sim_mode`; set via
+#: :func:`set_default_sim_mode` (the ``--sim-mode`` CLI flag).
+_DEFAULT_SIM_MODE = "exact"
+
+
+def set_default_sim_mode(mode: str) -> str:
+    """Set the default ``sim_mode`` for configs built after this call.
+
+    This is how ``python -m repro.bench --sim-mode approx`` switches every
+    cluster a sweep builds without threading a parameter through each cell
+    function (which would also alias the content-addressed cell cache —
+    the CLI therefore forces ``--jobs 1 --no-cache`` alongside).  Returns
+    the previous default so callers can restore it.
+    """
+    global _DEFAULT_SIM_MODE
+    if mode not in ("exact", "approx"):
+        raise ValueError(f"sim_mode must be 'exact' or 'approx': {mode!r}")
+    prior = _DEFAULT_SIM_MODE
+    _DEFAULT_SIM_MODE = mode
+    return prior
 
 
 @dataclass
@@ -94,6 +116,14 @@ class ClusterConfig:
     #: the virtual→physical rewrites, the hardware switch only forwards
     #: and multicasts (it cannot modify destination addresses).
     deployment: str = "hw"
+    #: Simulation fidelity (DESIGN.md §5g): "exact" (default) simulates
+    #: every wire event discretely; "approx" aggregates steady-state
+    #: data-plane flows analytically (per-link service-rate accounting)
+    #: while protocol-critical traffic — 2PC votes and commits (NODE_PORT),
+    #: membership/heartbeats (META_PORT), ARP, and chaos faults — stays
+    #: discrete.  Approx trades exact RNG ordering for event count; use it
+    #: for throughput sweeps, never for bit-identity comparisons.
+    sim_mode: str = field(default_factory=lambda: _DEFAULT_SIM_MODE)
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -113,5 +143,7 @@ class ClusterConfig:
         self.n_partitions = p
         if self.deployment not in ("hw", "ovs"):
             raise ValueError(f"deployment must be 'hw' or 'ovs': {self.deployment!r}")
+        if self.sim_mode not in ("exact", "approx"):
+            raise ValueError(f"sim_mode must be 'exact' or 'approx': {self.sim_mode!r}")
         if self.metadata_standbys < 0:
             raise ValueError(f"metadata_standbys must be >= 0: {self.metadata_standbys}")

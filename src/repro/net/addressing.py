@@ -79,7 +79,7 @@ class IPv4Address:
 class IPv4Network:
     """A CIDR prefix, e.g. ``IPv4Network("10.10.1.0/24")``."""
 
-    __slots__ = ("address", "prefixlen", "_netmask")
+    __slots__ = ("address", "prefixlen", "_netmask", "_value")
 
     def __init__(self, spec: Union[str, "IPv4Network"], prefixlen: int = None):
         if isinstance(spec, IPv4Network):
@@ -99,14 +99,18 @@ class IPv4Network:
         if self.address.value & ~self._netmask & 0xFFFFFFFF:
             # Normalize to the network address so equality behaves sanely.
             self.address = IPv4Address(self.address.value & self._netmask)
+        #: The (already-masked) network address as a bare int — the flow
+        #: table's scan loop compares against this without attribute chains.
+        self._value = self.address._value
 
     @property
     def num_addresses(self) -> int:
         return 1 << (32 - self.prefixlen)
 
     def __contains__(self, addr: Union[IPv4Address, str]) -> bool:
-        a = IPv4Address(addr) if not isinstance(addr, IPv4Address) else addr
-        return (a.value & self._netmask) == self.address.value
+        if type(addr) is not IPv4Address:
+            addr = IPv4Address(addr)
+        return (addr._value & self._netmask) == self._value
 
     def overlaps(self, other: "IPv4Network") -> bool:
         shorter = self if self.prefixlen <= other.prefixlen else other

@@ -59,17 +59,27 @@ class Match:
     def __post_init__(self) -> None:
         object.__setattr__(self, "ip_src", _as_network(self.ip_src))
         object.__setattr__(self, "ip_dst", _as_network(self.ip_dst))
+        # Precompiled (mask, value) int pairs: the flow-table scan calls
+        # ``matches`` once per installed rule on every cache miss, so the
+        # prefix checks must not pay IPv4Network.__contains__'s dispatch.
+        src, dst = self.ip_src, self.ip_dst
+        object.__setattr__(self, "_src_mask", None if src is None else src._netmask)
+        object.__setattr__(self, "_src_val", None if src is None else src._value)
+        object.__setattr__(self, "_dst_mask", None if dst is None else dst._netmask)
+        object.__setattr__(self, "_dst_val", None if dst is None else dst._value)
 
     def matches(self, packet: Packet, in_port: Optional[int] = None) -> bool:
         if self.in_port is not None and in_port != self.in_port:
             return False
+        mask = self._dst_mask
+        if mask is not None and (packet.dst_ip._value & mask) != self._dst_val:
+            return False
+        mask = self._src_mask
+        if mask is not None and (packet.src_ip._value & mask) != self._src_val:
+            return False
         if self.eth_dst is not None and packet.dst_mac != self.eth_dst:
             return False
-        if self.ip_src is not None and packet.src_ip not in self.ip_src:
-            return False
-        if self.ip_dst is not None and packet.dst_ip not in self.ip_dst:
-            return False
-        if self.proto is not None and packet.proto != self.proto:
+        if self.proto is not None and packet.proto is not self.proto:
             return False
         if self.dport is not None and packet.dport != self.dport:
             return False

@@ -1,7 +1,7 @@
 """Links, channels and ports.
 
 A :class:`Link` is a duplex cable: two independent unidirectional
-:class:`Channel` objects.  Each channel is a FIFO resource — concurrent
+:class:`Channel` objects.  Each channel is a FIFO wire — concurrent
 transfers queue behind one another, which is the mechanism that reproduces
 the paper's contention effects (a NOOB primary pushing R−1 copies up a
 single 1 Gbps uplink, Figs 5–9).
@@ -11,22 +11,37 @@ holds the channel for ``size_bytes * 8 / bandwidth`` seconds, then is
 delivered to the far device after the propagation latency.  Channels count
 transmitted bytes for the network-load figures and can drop packets with a
 configured loss rate to exercise the reliable-multicast repair path.
+
+Hot path (DESIGN.md §5g): a transmission is a chain of pooled kernel
+callbacks — grant (urgent, at enqueue time), serialize-start, end-of-
+serialization (counters, loss/jitter draws, queue hand-off), delivery —
+that schedules exactly the same simulated moments the previous
+process-per-packet implementation did, minus the generator, resource and
+timeout allocations.  :func:`transmit_fanout` additionally collapses a
+multicast fan-out over idle, equal-bandwidth channels into ONE shared
+grant/serialize/finish chain carrying the recipient list (per-receiver
+loss/jitter draws run at fire time, in leg order, so RNG streams see the
+same sequence as per-leg transmission).  In flow-approximation mode
+(``ClusterConfig.sim_mode="approx"``) non-exempt packets skip the chain
+entirely: one delivery event, with queueing folded in analytically via
+per-channel service-rate accounting (``_free_at``).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..obs.tracer import packet_op
-from ..sim import Counter, Resource, Simulator
-from .packet import Packet
+from ..sim import Counter, Simulator, URGENT
+from .packet import Packet, Proto
 
 if TYPE_CHECKING:  # pragma: no cover
     from .topology import Device
 
-__all__ = ["Channel", "Link", "Port", "GBPS", "MBPS"]
+__all__ = ["Channel", "Link", "Port", "transmit_fanout", "GBPS", "MBPS"]
 
 GBPS = 1_000_000_000.0
 MBPS = 1_000_000.0
@@ -89,7 +104,16 @@ class Channel:
         self.delay_jitter_s = 0.0
         self._jitter_rng: Optional[np.random.Generator] = None
         self.down = False
-        self._busy = Resource(sim, capacity=1, name=f"{self.name}.wire")
+        #: True while a packet occupies the wire (grant pending or
+        #: serializing); set at enqueue time so later transmits queue FIFO.
+        self._sending = False
+        #: Packets waiting for the wire, FIFO.
+        self._queue: deque = deque()
+        #: Analytic wire-occupancy horizon for flow-approximation mode:
+        #: absolute sim time at which the wire frees up.  The exact path
+        #: keeps it current too, so approximated flows queue behind exact
+        #: (protocol) traffic sharing the link.
+        self._free_at = 0.0
 
     def set_loss(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
         """Enable random packet loss (whole control packets; bulk bursts
@@ -132,42 +156,113 @@ class Channel:
 
     def transmit(self, packet: Packet) -> None:
         """Start (or queue) transmission of ``packet``."""
-        tr = self.sim.tracer
-        if tr is not None and (self._busy.in_use or self._busy.queued):
-            tr.instant(
-                "queued", "link", node=self.name, op=packet_op(packet.payload),
-                depth=self._busy.queued + 1,
-            )
-        self.sim.process(self._transmit(packet))
-
-    def _transmit(self, packet: Packet):
-        req = self._busy.request()
-        yield req
-        try:
-            yield self.sim.timeout(self.serialization_delay(packet))
-            self.tx_bytes.add(packet.size_bytes)
-            self.tx_packets.add()
-            if self.down:
-                self.dropped_packets.add()
-                tr = self.sim.tracer
-                if tr is not None:
-                    tr.instant("drop", "link", node=self.name,
-                               op=packet_op(packet.payload), reason="down")
+        sim = self.sim
+        if sim.approx_mode:
+            ex = sim.approx_exempt_ports
+            if (
+                packet.dport not in ex
+                and packet.sport not in ex
+                and packet.proto is not Proto.ARP
+            ):
+                self._transmit_approx(packet)
                 return
-            if self.loss_rate and self._loss_rng is not None:
-                if self._loss_rng.random() < self.loss_rate:
-                    self.dropped_packets.add()
-                    tr = self.sim.tracer
-                    if tr is not None:
-                        tr.instant("drop", "link", node=self.name,
-                                   op=packet_op(packet.payload), reason="loss")
-                    return
+        if self._sending:
+            tr = sim.tracer
+            if tr is not None:
+                tr.instant(
+                    "queued", "link", node=self.name, op=packet_op(packet.payload),
+                    depth=len(self._queue) + 1,
+                )
+            self._queue.append(packet)
+            return
+        self._sending = True
+        sim._schedule_call(0.0, self._grant, packet, priority=URGENT)
+
+    def _grant(self, packet: Packet) -> None:
+        # Urgent enqueue hop + normal grant hop: preserves the event-id
+        # assignment moments of the old process-start/resource-grant pair,
+        # so same-timestamp ties break exactly as before the rewrite.
+        self.sim._schedule_call(0.0, self._serialize, packet)
+
+    def _serialize(self, packet: Packet) -> None:
+        ser = packet._wire_size * 8.0 / self.bandwidth_bps
+        self._free_at = self.sim._now + ser
+        self.sim._schedule_call(ser, self._finish_tx, packet)
+
+    def _finish_tx(self, packet: Packet) -> None:
+        """End of serialization: counters, fault draws, delivery, hand-off."""
+        sim = self.sim
+        self.tx_bytes.add(packet._wire_size)
+        self.tx_packets.add()
+        dropped = False
+        if self.down:
+            self.dropped_packets.add()
+            dropped = True
+            tr = sim.tracer
+            if tr is not None:
+                tr.instant("drop", "link", node=self.name,
+                           op=packet_op(packet.payload), reason="down")
+        elif (
+            self.loss_rate
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self.loss_rate
+        ):
+            self.dropped_packets.add()
+            dropped = True
+            tr = sim.tracer
+            if tr is not None:
+                tr.instant("drop", "link", node=self.name,
+                           op=packet_op(packet.payload), reason="loss")
+        if not dropped:
             delay = self.latency_s
             if self.delay_jitter_s and self._jitter_rng is not None:
                 delay += self._jitter_rng.random() * self.delay_jitter_s
-            self.sim.call_in(delay, self._deliver, packet)
-        finally:
-            req.release()
+            sim._schedule_call(delay, self._deliver, packet)
+        queue = self._queue
+        if queue:
+            sim._schedule_call(0.0, self._serialize, queue.popleft())
+        else:
+            self._sending = False
+
+    def _transmit_approx(self, packet: Packet) -> None:
+        """Flow-approximation delivery: one event, analytic queueing.
+
+        The wire-occupancy window is folded into the delivery delay via
+        ``_free_at`` service-rate accounting instead of being simulated as
+        grant/serialize/finish events; loss and jitter draw at enqueue
+        time (approx mode trades exact RNG ordering for event count).
+        """
+        sim = self.sim
+        now = sim._now
+        start = self._free_at
+        if start < now:
+            start = now
+        end = start + packet._wire_size * 8.0 / self.bandwidth_bps
+        self._free_at = end
+        self.tx_bytes.add(packet._wire_size)
+        self.tx_packets.add()
+        if self.down:
+            self.dropped_packets.add()
+            tr = sim.tracer
+            if tr is not None:
+                tr.instant("drop", "link", node=self.name,
+                           op=packet_op(packet.payload), reason="down")
+            return
+        if (
+            self.loss_rate
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self.loss_rate
+        ):
+            self.dropped_packets.add()
+            tr = sim.tracer
+            if tr is not None:
+                tr.instant("drop", "link", node=self.name,
+                           op=packet_op(packet.payload), reason="loss")
+            return
+        delay = end - now + self.latency_s
+        if self.delay_jitter_s and self._jitter_rng is not None:
+            delay += self._jitter_rng.random() * self.delay_jitter_s
+        sim._schedule_call(delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.dst.device.handle_packet(packet, self.dst)
@@ -175,10 +270,47 @@ class Channel:
     @property
     def queued(self) -> int:
         """Transfers waiting behind the one on the wire (diagnostics)."""
-        return self._busy.queued
+        return len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Channel {self.name} {self.bandwidth_bps/GBPS:g}Gbps>"
+
+
+def transmit_fanout(sim: Simulator, legs: List[tuple]) -> None:
+    """Vectorized multicast fan-out: ONE grant/serialize/finish chain for R legs.
+
+    ``legs`` is ``[(channel, packet), ...]``; the caller guarantees every
+    channel is idle and distinct and all share one bandwidth (same packet
+    size across legs makes serialization end simultaneously).  The three
+    shared hops replace R consecutive per-leg hops of the same timestamp
+    and priority, which preserves tie-breaking against any third-party
+    event; per-leg delivery events, loss/jitter draws and queue hand-offs
+    run at fire time in leg order — the same order the per-leg chains
+    produced — so RNG streams and delivery ordering are bit-identical.
+    """
+    for ch, _ in legs:
+        ch._sending = True
+    sim._schedule_call(0.0, _fanout_grant, sim, legs, priority=URGENT)
+
+
+def _fanout_grant(sim: Simulator, legs: List[tuple]) -> None:
+    sim._schedule_call(0.0, _fanout_serialize, sim, legs)
+
+
+def _fanout_serialize(sim: Simulator, legs: List[tuple]) -> None:
+    ch0, p0 = legs[0]
+    ser = p0._wire_size * 8.0 / ch0.bandwidth_bps
+    free = sim._now + ser
+    for ch, _ in legs:
+        ch._free_at = free
+    sim._schedule_call(ser, _fanout_finish, legs)
+
+
+def _fanout_finish(legs: List[tuple]) -> None:
+    # Unpacked at fire time: each leg runs the normal end-of-serialization
+    # step (counters, draws, delivery, queue hand-off) in leg order.
+    for ch, packet in legs:
+        ch._finish_tx(packet)
 
 
 class Link:

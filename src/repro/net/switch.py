@@ -15,6 +15,7 @@ headers did it in software, three orders of magnitude slower — modeled by
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.tracer import packet_op
@@ -32,14 +33,21 @@ from .flowtable import (
     SetIpSrc,
     ToController,
 )
-from .link import Port
-from .packet import Packet
+from .link import Port, transmit_fanout
+from .packet import Packet, Proto
+
+#: Hoisted enum member: the approx-mode exempt check runs per packet.
+_ARP = Proto.ARP
 from .topology import Device
 
 __all__ = ["OpenFlowSwitch", "FLOOD"]
 
 #: Pseudo-port: flood out of every port except the ingress.
 FLOOD = -1
+
+#: Bucket actions the vectorized fan-out path knows how to apply inline;
+#: any other action type sends the whole group down the generic loop.
+_SIMPLE_REWRITES = (SetIpDst, SetIpSrc, SetEthDst)
 
 
 class OpenFlowSwitch(Device):
@@ -62,6 +70,10 @@ class OpenFlowSwitch(Device):
         #: hardware switch of §5.1.
         self.rewrite_penalty_s = rewrite_penalty_s
         self.controller = None  # set by ControlPlane.attach
+        #: Escape hatch for the batching bit-identity test: setting
+        #: ``REPRO_NO_TX_BATCH=1`` at build time forces per-receiver
+        #: delivery chains, which must produce identical results.
+        self._batch_fanout = os.environ.get("REPRO_NO_TX_BATCH") != "1"
         self._buffer_ids = itertools.count(1)
         self._buffered: Dict[int, Tuple[Packet, int]] = {}
         self.forwarded = Counter(f"{name}.forwarded")
@@ -76,7 +88,19 @@ class OpenFlowSwitch(Device):
 
     # -- data plane ---------------------------------------------------------
     def handle_packet(self, packet: Packet, in_port: Port) -> None:
-        self.sim.call_in(self.lookup_latency_s, self._pipeline, packet, in_port.number)
+        sim = self.sim
+        if sim.approx_mode and (
+            packet.dport not in sim.approx_exempt_ports
+            and packet.sport not in sim.approx_exempt_ports
+            and packet.proto is not _ARP
+        ):
+            # Flow-approximation (DESIGN.md §5g): data-plane lookups run
+            # inline instead of costing a heap event each; the ~5 µs lookup
+            # latency is folded away (orders of magnitude below the put
+            # path's service times, inside approx's ±5% envelope).
+            self._pipeline(packet, in_port.number)
+            return
+        sim.call_in(self.lookup_latency_s, self._pipeline, packet, in_port.number)
 
     def _pipeline(self, packet: Packet, in_port_no: int) -> None:
         rule = self.table.lookup(packet, in_port_no)
@@ -85,7 +109,7 @@ class OpenFlowSwitch(Device):
             if tr is not None:
                 tr.instant(
                     "table_miss", "switch", node=self.name,
-                    op=packet_op(packet.payload), dst=str(packet.dst_ip),
+                    op=packet_op(packet.payload), dst=packet.dst_ip,
                 )
             self._packet_in(packet, in_port_no)
             return
@@ -95,7 +119,7 @@ class OpenFlowSwitch(Device):
             tr.instant(
                 "rule_hit", "switch", node=self.name,
                 op=packet_op(packet.payload), cookie=rule.cookie,
-                priority=rule.priority, dst=str(packet.dst_ip),
+                priority=rule.priority, dst=packet.dst_ip,
             )
         self.apply_actions(packet, rule.actions, in_port_no)
 
@@ -111,7 +135,7 @@ class OpenFlowSwitch(Device):
                     tr.instant(
                         "rewrite", "switch", node=self.name,
                         op=packet_op(packet.payload),
-                        field="ip_dst", old=str(packet.dst_ip), new=str(action.ip),
+                        field="ip_dst", old=packet.dst_ip, new=action.ip,
                     )
                 packet.dst_ip = action.ip
                 rewrote = True
@@ -166,9 +190,81 @@ class OpenFlowSwitch(Device):
                 op=packet_op(packet.payload), group=group_id,
                 buckets=len(group.buckets),
             )
-        for bucket in group.buckets:
+        buckets = group.buckets
+        if (
+            len(buckets) > 1
+            and self._batch_fanout
+            and self.rewrite_penalty_s == 0.0
+        ):
+            for bucket in buckets:
+                for action in bucket.actions:
+                    if type(action) not in _SIMPLE_REWRITES:
+                        break
+                else:
+                    continue
+                break
+            else:
+                self._output_group_fast(packet, buckets, tr)
+                return
+        for bucket in buckets:
             clone = packet.copy()
             self.apply_actions(clone, list(bucket.actions) + [Output(bucket.port)], in_port_no)
+
+    def _output_group_fast(self, packet: Packet, buckets, tr) -> None:
+        """Batched fan-out: one clone per leg, one shared transmit chain.
+
+        Semantically identical to running ``apply_actions`` per bucket (the
+        caller has verified every bucket action is a plain header rewrite
+        and the rewrite penalty is zero), but the R legs share one
+        vectorized grant/serialize/finish chain when their channels are all
+        idle, distinct and equal-bandwidth — otherwise every leg falls back
+        to its own (still pooled) transmit chain, so chaos cases like
+        per-link throttling keep their exact event order.  Approx mode
+        never batches: ``Channel.transmit`` routes each leg through its
+        analytic service-rate path instead.
+        """
+        legs = []
+        batchable = not self.sim.approx_mode
+        bandwidth = 0.0
+        for bucket in buckets:
+            clone = packet.copy()
+            for action in bucket.actions:
+                cls = type(action)
+                if cls is SetIpDst:
+                    if clone.virtual_dst is None:
+                        clone.virtual_dst = clone.dst_ip
+                    if tr is not None:
+                        tr.instant(
+                            "rewrite", "switch", node=self.name,
+                            op=packet_op(clone.payload),
+                            field="ip_dst", old=clone.dst_ip, new=action.ip,
+                        )
+                    clone.dst_ip = action.ip
+                elif cls is SetIpSrc:
+                    clone.src_ip = action.ip
+                else:  # SetEthDst (caller verified the action set)
+                    clone.dst_mac = action.mac
+            port = self.ports.get(bucket.port)
+            if port is None or port.link is None:
+                self.dropped.add()
+                continue
+            self.forwarded.add()
+            channel = port.link.channel_from(port)
+            if legs:
+                if channel.bandwidth_bps != bandwidth:
+                    batchable = False
+            else:
+                bandwidth = channel.bandwidth_bps
+            if channel._sending or channel._queue:
+                batchable = False
+            legs.append((channel, clone))
+        if len(legs) > 1 and batchable:
+            seen = {id(ch) for ch, _ in legs}
+            if len(seen) == len(legs):
+                transmit_fanout(self.sim, legs)
+                return
+        for channel, clone in legs:
+            channel.transmit(clone)
 
     # -- controller interaction ----------------------------------------------
     def _packet_in(self, packet: Packet, in_port_no: int) -> None:

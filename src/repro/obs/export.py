@@ -95,7 +95,10 @@ def write_chrome_trace(path: str, tracers: Iterable[Tracer]) -> int:
     """Write the Chrome trace JSON; returns the number of trace events."""
     doc = chrome_trace(tracers)
     with open(path, "w") as fh:
-        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=True)
+        # default=str: hot-path tracer sites store address objects raw (no
+        # per-event str() cost); they stringify here, at export time.
+        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=True,
+                  default=str)
         fh.write("\n")
     return len(doc["traceEvents"])
 
@@ -107,7 +110,7 @@ def jsonl_lines(tracers: Iterable[Tracer]) -> Iterable[str]:
         for ev in tracer.events:
             d: Dict = {"run": label}
             d.update(ev.to_dict())
-            yield json.dumps(d, separators=(",", ":"), sort_keys=True)
+            yield json.dumps(d, separators=(",", ":"), sort_keys=True, default=str)
 
 
 def write_jsonl(path: str, tracers: Iterable[Tracer]) -> int:

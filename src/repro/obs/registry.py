@@ -173,4 +173,16 @@ class MetricsRegistry:
         for link in getattr(network, "links", []):
             for channel in link.channels:
                 reg.collect_object(channel, f"{p}link.{channel.name}")
+        sim = getattr(cluster, "sim", None)
+        if sim is not None and hasattr(sim, "pool_stats"):
+            # Kernel allocation health (DESIGN.md §5g): reuse rates near
+            # 1.0 mean the hot path runs allocation-free.
+            reg.gauge(
+                f"{p}sim.call_pool.reuse_rate",
+                lambda s=sim: s.pool_stats()["call_pool"]["reuse_rate"],
+            )
+            reg.gauge(
+                f"{p}sim.entry_pool.reuse_rate",
+                lambda s=sim: s.pool_stats()["entry_pool"]["reuse_rate"],
+            )
         return reg

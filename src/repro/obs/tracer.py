@@ -97,13 +97,22 @@ class Span:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records for one simulator."""
+    """Collects :class:`TraceEvent` records for one simulator.
 
-    __slots__ = ("sim", "label", "events")
+    ``verbose=True`` additionally records per-wake kernel instants
+    (``cat="proc"``, ``name="wake"`` — one per process resumption).
+    They are invaluable when debugging a stuck coroutine but dominate
+    the trace by volume (~3 wakes per protocol message), so the default
+    keeps only protocol-level events plus process spawns; the
+    `trace_overhead` perf budget is set against the default.
+    """
 
-    def __init__(self, sim, label: str = ""):
+    __slots__ = ("sim", "label", "events", "verbose")
+
+    def __init__(self, sim, label: str = "", verbose: bool = False):
         self.sim = sim
         self.label = label
+        self.verbose = verbose
         self.events: List[TraceEvent] = []
 
     def __len__(self) -> int:
@@ -154,9 +163,9 @@ class Tracer:
         return [ev for ev in self.events if ev.op == op]
 
 
-def install(sim, label: str = "") -> Tracer:
+def install(sim, label: str = "", verbose: bool = False) -> Tracer:
     """Create a tracer, set it as ``sim.tracer``, and return it."""
-    tracer = Tracer(sim, label=label)
+    tracer = Tracer(sim, label=label, verbose=verbose)
     sim.tracer = tracer
     return tracer
 
@@ -172,15 +181,26 @@ def packet_op(payload) -> Optional[tuple]:
     """Extract the op correlation id from a message payload, if any.
 
     Payloads carry ``op_id`` either at the top level (client requests,
-    node control messages) or one level down under ``"payload"`` (the
-    reliable-multicast framing).  Returns a tuple or ``None``.
+    node control messages) or inside the reliable-multicast tuple framing
+    (``("mc_data", op, ack_port, payload)`` / ``("mc_ctrl", payload)``,
+    whose application payload is a dict).  Returns a tuple or ``None``.
     """
-    if isinstance(payload, dict):
+    t = type(payload)
+    if t is dict:
         op = payload.get("op_id")
-        if op is None:
-            inner = payload.get("payload")
-            if isinstance(inner, dict):
-                op = inner.get("op_id")
         if op is not None:
             return tuple(op)
+        return None
+    if t is tuple and payload:
+        kind = payload[0]
+        if kind == "mc_data":
+            inner = payload[3]
+        elif kind == "mc_ctrl":
+            inner = payload[1]
+        else:
+            return None
+        if type(inner) is dict:
+            op = inner.get("op_id")
+            if op is not None:
+                return tuple(op)
     return None

@@ -10,6 +10,16 @@ Determinism is a hard requirement: two runs with the same seed must produce
 bit-identical results.  The event heap therefore breaks ties on
 ``(time, priority, event_id)`` where ``event_id`` is a monotonically
 increasing counter — never on object identity.
+
+Data layout (DESIGN.md §5g): the heap is an array-backed binary heap of
+*pooled event records* — mutable 4-slot lists ``[when, priority, eid,
+target]`` recycled through a per-simulator free list, so the steady-state
+timer path allocates nothing.  Records compare element-wise exactly like
+the tuples they replaced (``eid`` is unique, so comparison never reaches
+the target slot).  Cancelling a timer tombstones its record in O(1)
+(``target = None``); tombstones are skipped and recycled when they
+surface, which replaces the old cancel-by-flag churn where dead timeouts
+ran a full ``_process`` on expiry.
 """
 
 from __future__ import annotations
@@ -62,7 +72,7 @@ class Event:
        lost.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_processed", "_defused", "_entry")
 
     _PENDING = object()
 
@@ -75,6 +85,9 @@ class Event:
         self._ok: Optional[bool] = None
         self._processed = False
         self._defused = False
+        #: Live heap record while scheduled (a list), the original fire time
+        #: (a float) after a tombstone cancel, else None.
+        self._entry = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -102,7 +115,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -118,7 +131,7 @@ class Event:
         """
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exc
@@ -137,7 +150,15 @@ class Event:
             # Late registration: deliver on the next urgent tick so the
             # callback still observes a fully-triggered event.
             self.sim._schedule_call(0.0, callback, self, priority=URGENT)
-        elif self._callbacks is None:
+            return
+        if type(self._entry) is float:
+            # Revive a tombstone-cancelled timer: a new waiter appeared, so
+            # put it back on the heap at its original fire time — or now,
+            # if that time already passed while it sat cancelled (the heap
+            # must never carry an entry behind the clock).
+            delay = self._entry - self.sim._now
+            self.sim._schedule_event(self, NORMAL, delay=delay if delay > 0.0 else 0.0)
+        if self._callbacks is None:
             self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
@@ -218,6 +239,18 @@ class ConditionValue(Mapping):
     def __len__(self) -> int:
         return len(self._events)
 
+    def get(self, ev: Event, default: Any = None) -> Any:
+        # Overrides Mapping.get: skip the try/except KeyError round-trip.
+        for e in self._events:
+            if e is ev:
+                return e._value
+        return default
+
+    def values(self):
+        # Overrides Mapping.values: a tuple beats a ValuesView that would
+        # re-run the identity scan per element.
+        return tuple(e._value for e in self._events)
+
     def todict(self) -> dict:
         return {e: e._value for e in self._events}
 
@@ -259,31 +292,55 @@ class Condition(Event):
         self._events = list(events)
         self._evaluate = evaluate
         self._count = 0
-        for ev in self._events:
-            if ev.sim is not sim:
-                raise SimulationError("conditions cannot span simulators")
         if not self._events:
             self.succeed({})
             return
+        cb = self._on_trigger  # one bound method shared by all constituents
         for ev in self._events:
-            if ev.processed:
-                self._on_trigger(ev)
+            if ev.sim is not sim:
+                raise SimulationError("conditions cannot span simulators")
+            if ev._processed:
+                cb(ev)
             else:
                 # Not yet *processed*: even if the value is already set
                 # (e.g. Timeout sets it at creation), the occurrence happens
                 # when the event is popped from the heap — wait for that.
-                ev.add_callback(self._on_trigger)
+                ev.add_callback(cb)
 
     def _on_trigger(self, ev: Event) -> None:
-        if self.triggered:
+        if self._value is not Event._PENDING:
             return
-        if ev.ok is False:
+        if ev._ok is False:
             ev.defuse()
             self.fail(ev.value)
+            self._settle_losers()
             return
         self._count += 1
         if self._evaluate(self._events, self._count):
             self.succeed(self._collect())
+            self._settle_losers()
+
+    def _settle_losers(self) -> None:
+        """Cancel loser *timers* once the condition has settled.
+
+        A pure :class:`Timeout` whose only waiter is this condition can
+        never matter again (timeouts cannot fail), so its heap record is
+        tombstoned instead of letting it expire and run a dead callback —
+        this is where e.g. the per-put 2s client retry timer dies the
+        moment the reply wins the race.  Other event kinds are left
+        untouched: their late failures must keep the historic
+        swallowed-by-the-settled-condition behaviour.
+        """
+        for ev in self._events:
+            if type(ev) is Timeout and not ev._processed:
+                cbs = ev._callbacks
+                if (
+                    cbs is not None
+                    and len(cbs) == 1
+                    and getattr(cbs[0], "__self__", None) is self
+                ):
+                    ev._callbacks = None
+                    ev.sim.cancel_timer(ev)
 
     def _collect(self):
         ready = tuple(ev for ev in self._events if ev._processed and ev._ok)
@@ -292,14 +349,59 @@ class Condition(Event):
         return {ev: ev._value for ev in ready}
 
 
+class _AnyCondition(Condition):
+    """`AnyOf` with the generic evaluate/count machinery inlined away."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        Condition.__init__(self, sim, _eval_any, events)
+
+    def _on_trigger(self, ev: Event) -> None:
+        if self._value is not Event._PENDING:
+            return
+        if ev._ok is False:
+            ev._defused = True
+            self.fail(ev._value)
+        else:
+            self._ok = True
+            self._value = self._collect()
+            self.sim._schedule_event(self, NORMAL)
+        self._settle_losers()
+
+
+class _AllCondition(Condition):
+    """`AllOf` with a countdown instead of the generic evaluate hook."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        Condition.__init__(self, sim, _eval_all, events)
+
+    def _on_trigger(self, ev: Event) -> None:
+        if self._value is not Event._PENDING:
+            return
+        if ev._ok is False:
+            ev._defused = True
+            self.fail(ev._value)
+            self._settle_losers()
+            return
+        self._count = count = self._count + 1
+        if count >= len(self._events):
+            # Every constituent is processed — no losers left to settle.
+            self._ok = True
+            self._value = self._collect()
+            self.sim._schedule_event(self, NORMAL)
+
+
 def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
     """Condition that triggers as soon as any constituent triggers."""
-    return Condition(sim, _eval_any, events)
+    return _AnyCondition(sim, events)
 
 
 def AllOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
     """Condition that triggers when all constituents have triggered."""
-    return Condition(sim, _eval_all, events)
+    return _AllCondition(sim, events)
 
 
 class _Call:
@@ -312,12 +414,13 @@ class _Call:
     (``_process()``) and is recycled through a per-simulator free list.
     """
 
-    __slots__ = ("sim", "func", "args")
+    __slots__ = ("sim", "func", "args", "_entry")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.func: Optional[Callable] = None
         self.args: tuple = ()
+        self._entry = None
 
     def _process(self) -> None:
         func, args = self.func, self.args
@@ -326,7 +429,7 @@ class _Call:
         self.func = None
         self.args = ()
         pool = self.sim._call_pool
-        if len(pool) < 256:
+        if len(pool) < self.sim._call_pool_cap:
             pool.append(self)
         func(*args)
 
@@ -341,16 +444,41 @@ class Simulator:
         sim.run(until=120.0)
     """
 
+    #: Maximum number of recycled heap records kept in the free list; above
+    #: this the records are simply dropped (steady state never gets here
+    #: unless a burst scheduled far more concurrent timers than usual).
+    ENTRY_POOL_CAP = 8192
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list = []
         self._eid = 0
         self._running = False
         self._call_pool: List[_Call] = []
+        #: `_Call` pool cap; grown by Process spawn accounting so reuse does
+        #: not starve at cluster scale (was a hard-coded 256).
+        self._call_pool_cap = 256
+        self._live_procs = 0
+        #: Free list of recycled 4-slot heap records.
+        self._entry_pool: List[list] = []
+        #: Number of tombstoned (cancelled) records still in the heap.
+        self._cancelled = 0
+        # Pool-reuse statistics (see :meth:`pool_stats`).  Entry-pool hits
+        # are derived (eid - misses) to keep the hit branch increment-free.
+        self._entry_misses = 0
+        self._call_hits = 0
+        self._call_misses = 0
         #: Optional :class:`repro.obs.Tracer`.  ``None`` means tracing is
         #: off and every hook site reduces to an attribute load + branch
         #: (the null-tracer pattern; install via ``repro.obs.install``).
         self.tracer = None
+        #: Flow-approximation mode (DESIGN.md §5g), owned by the net layer
+        #: but stored here so ``Channel.transmit`` pays one attribute load
+        #: to check it (and to avoid a net→core import cycle).  When True,
+        #: packets whose sport/dport is not in ``approx_exempt_ports`` get
+        #: analytic single-event delivery instead of the exact wire chain.
+        self.approx_mode = False
+        self.approx_exempt_ports: frozenset = frozenset()
 
     # -- clock -------------------------------------------------------------
     @property
@@ -365,16 +493,62 @@ class Simulator:
 
     def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._eid = eid = self._eid + 1
-        heapq.heappush(self._heap, (self._now + delay, priority, eid, event))
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self._now + delay
+            entry[1] = priority
+            entry[2] = eid
+            entry[3] = event
+        else:
+            # Misses are the rare branch; hits are derived as eid - misses
+            # (every schedule consumes exactly one record and one eid).
+            self._entry_misses += 1
+            entry = [self._now + delay, priority, eid, event]
+        event._entry = entry
+        heapq.heappush(self._heap, entry)
 
     def _schedule_call(
         self, delay: float, func: Callable, *args: Any, priority: int = NORMAL
     ) -> None:
-        call = self._call_pool.pop() if self._call_pool else _Call(self)
+        if self._call_pool:
+            self._call_hits += 1
+            call = self._call_pool.pop()
+        else:
+            self._call_misses += 1
+            call = _Call(self)
         call.func = func
         call.args = args
         self._eid = eid = self._eid + 1
-        heapq.heappush(self._heap, (self._now + delay, priority, eid, call))
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self._now + delay
+            entry[1] = priority
+            entry[2] = eid
+            entry[3] = call
+        else:
+            self._entry_misses += 1
+            entry = [self._now + delay, priority, eid, call]
+        heapq.heappush(self._heap, entry)
+
+    def cancel_timer(self, event: Event) -> bool:
+        """Tombstone ``event``'s heap record in O(1); True if cancelled.
+
+        Only meaningful for events that are scheduled but not yet processed
+        (i.e. Timeouts, or triggered events awaiting their pop).  The record
+        stays in the heap until it surfaces, where it is skipped and
+        recycled instead of running a full ``_process``.  A cancelled timer
+        that later gains a new waiter (``add_callback``) is transparently
+        revived at its original fire time.
+        """
+        entry = event._entry
+        if type(entry) is list and entry[3] is event:
+            entry[3] = None
+            event._entry = entry[0]  # remember the fire time for revival
+            self._cancelled += 1
+            return True
+        return False
 
     # -- public API ----------------------------------------------------------
     def event(self) -> Event:
@@ -383,7 +557,21 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` seconds."""
-        return Timeout(self, delay, value)
+        # Inline construction: skips the Timeout/Event __init__ frames on
+        # the single hottest allocation site in the kernel.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        t = Timeout.__new__(Timeout)
+        t.sim = self
+        t._callbacks = None
+        t._value = value
+        t._ok = True
+        t._processed = False
+        t._defused = False
+        t._entry = None
+        t.delay = delay
+        self._schedule_event(t, NORMAL, delay=delay)
+        return t
 
     def any_of(self, events: Iterable[Event]) -> Condition:
         return AnyOf(self, events)
@@ -422,26 +610,50 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        pool = self._entry_pool
+        cap = self.ENTRY_POOL_CAP
         try:
             if until is None:
                 # Fast loop: no deadline check and no heap peek per event.
                 while heap:
-                    when, _prio, _eid, event = heappop(heap)
-                    self._now = when
+                    entry = heappop(heap)
+                    target = entry[3]
+                    if target is None:  # tombstone: cancelled, just recycle
+                        self._cancelled -= 1
+                        if len(pool) < cap:
+                            pool.append(entry)
+                        continue
+                    self._now = entry[0]
+                    target._entry = None
+                    entry[3] = None
+                    if len(pool) < cap:
+                        pool.append(entry)
                     try:
-                        event._process()
+                        target._process()
                     except StopSimulation:
                         break
                 return self._now
             while heap:
-                when, _prio, _eid, event = heap[0]
+                entry = heap[0]
+                if entry[3] is None:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    if len(pool) < cap:
+                        pool.append(entry)
+                    continue
+                when = entry[0]
                 if when > until:
                     self._now = until
                     break
                 heappop(heap)
                 self._now = when
+                target = entry[3]
+                target._entry = None
+                entry[3] = None
+                if len(pool) < cap:
+                    pool.append(entry)
                 try:
-                    event._process()
+                    target._process()
                 except StopSimulation:
                     break
             else:
@@ -470,25 +682,49 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        pool = self._entry_pool
+        cap = self.ENTRY_POOL_CAP
         try:
             if until is None:
                 while heap and not event._processed:
-                    when, _prio, _eid, entry = heappop(heap)
-                    self._now = when
+                    entry = heappop(heap)
+                    target = entry[3]
+                    if target is None:
+                        self._cancelled -= 1
+                        if len(pool) < cap:
+                            pool.append(entry)
+                        continue
+                    self._now = entry[0]
+                    target._entry = None
+                    entry[3] = None
+                    if len(pool) < cap:
+                        pool.append(entry)
                     try:
-                        entry._process()
+                        target._process()
                     except StopSimulation:
                         break
                 return self._now
             while heap and not event._processed:
-                when, _prio, _eid, entry = heap[0]
+                entry = heap[0]
+                if entry[3] is None:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    if len(pool) < cap:
+                        pool.append(entry)
+                    continue
+                when = entry[0]
                 if when > until:
                     self._now = until
                     break
                 heappop(heap)
                 self._now = when
+                target = entry[3]
+                target._entry = None
+                entry[3] = None
+                if len(pool) < cap:
+                    pool.append(entry)
                 try:
-                    entry._process()
+                    target._process()
                 except StopSimulation:
                     break
         finally:
@@ -496,13 +732,29 @@ class Simulator:
         return self._now
 
     def step(self) -> bool:
-        """Process exactly one event; returns False if the heap is empty."""
-        if not self._heap:
-            return False
-        when, _prio, _eid, event = heapq.heappop(self._heap)
-        self._now = when
-        event._process()
-        return True
+        """Process exactly one live event; returns False if none remain.
+
+        Tombstoned (cancelled) records encountered on the way are skipped
+        and recycled without counting as the step.
+        """
+        heap = self._heap
+        pool = self._entry_pool
+        while heap:
+            entry = heapq.heappop(heap)
+            target = entry[3]
+            if target is None:
+                self._cancelled -= 1
+                if len(pool) < self.ENTRY_POOL_CAP:
+                    pool.append(entry)
+                continue
+            self._now = entry[0]
+            target._entry = None
+            entry[3] = None
+            if len(pool) < self.ENTRY_POOL_CAP:
+                pool.append(entry)
+            target._process()
+            return True
+        return False
 
     def stop(self) -> None:
         """Request the current :meth:`run` to stop after this event."""
@@ -510,8 +762,28 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently scheduled (for tests/diagnostics)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events currently scheduled."""
+        return len(self._heap) - self._cancelled
+
+    def pool_stats(self) -> dict:
+        """Reuse statistics for the heap-record and ``_Call`` free lists."""
+        e_hits = self._eid - self._entry_misses
+        c_total = self._call_hits + self._call_misses
+        return {
+            "entry_pool": {
+                "hits": e_hits,
+                "misses": self._entry_misses,
+                "reuse_rate": e_hits / self._eid if self._eid else 0.0,
+                "free": len(self._entry_pool),
+            },
+            "call_pool": {
+                "hits": self._call_hits,
+                "misses": self._call_misses,
+                "reuse_rate": self._call_hits / c_total if c_total else 0.0,
+                "free": len(self._call_pool),
+                "cap": self._call_pool_cap,
+            },
+        }
 
 
 _Process = None

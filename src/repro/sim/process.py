@@ -44,6 +44,8 @@ class _Started:
     __slots__ = ()
     ok = True
     value = None
+    _ok = True
+    _value = None
     _defused = True
 
 
@@ -64,6 +66,14 @@ class Process(Event):
         self._gen = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # Live-process accounting drives the `_Call` pool cap: at cluster
+        # scale thousands of concurrent processes each keep a deferred call
+        # in flight, so the cap tracks 2x the high-water mark of live
+        # processes (never shrinking, floor 256 from Simulator.__init__).
+        sim._live_procs += 1
+        cap = sim._live_procs * 2
+        if cap > sim._call_pool_cap:
+            sim._call_pool_cap = cap
         # First resume happens on an urgent same-time call so that process
         # bodies start deterministically before ordinary events at `now`.
         sim._schedule_call(0.0, self._resume, _STARTED, priority=URGENT)
@@ -97,12 +107,12 @@ class Process(Event):
 
     # -- engine ------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not Event._PENDING:
             # Process already finished (e.g. interrupted after completion
             # raced with a pending wakeup): drop stale wakeups, but re-raise
             # unhandled failures of the stale event.
-            if event.ok is False and not event._defused:
-                raise event.value
+            if event._ok is False and not event._defused:
+                raise event._value
             return
 
         # Detach from the old target: an interrupt must not leave a stale
@@ -112,20 +122,23 @@ class Process(Event):
         self._target = None
 
         tr = self.sim.tracer
-        if tr is not None:
+        if tr is not None and tr.verbose:
             tr.instant("wake", "proc", node=self.name)
 
+        send = self._gen.send
         while True:
             try:
-                if event.ok:
-                    next_ev = self._gen.send(event.value)
+                if event._ok:
+                    next_ev = send(event._value)
                 else:
-                    event.defuse()
-                    next_ev = self._gen.throw(event.value)
+                    event._defused = True
+                    next_ev = self._gen.throw(event._value)
             except StopIteration as stop:
+                self.sim._live_procs -= 1
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
+                self.sim._live_procs -= 1
                 self.fail(exc)
                 return
 
@@ -136,12 +149,14 @@ class Process(Event):
                 try:
                     self._gen.throw(exc)
                 except StopIteration as stop:
+                    self.sim._live_procs -= 1
                     self.succeed(stop.value)
                 except BaseException as err:
+                    self.sim._live_procs -= 1
                     self.fail(err)
                 return
 
-            if next_ev.processed:
+            if next_ev._processed:
                 # Already settled: loop and deliver synchronously.
                 event = next_ev
                 continue

@@ -9,6 +9,16 @@ servicing straggler NACKs afterwards until they finish or time out.
 In the simulator a multicast transfer is one flow burst fanned out by the
 switch group table; chunk loss is drawn per receiver (binomial over the
 chunk count) so the NACK/repair path is exercised without per-chunk events.
+
+Wire envelopes are plain tuples tagged by their first element — cheaper to
+build and dispatch than dicts on the per-packet hot path, and the declared
+``payload_bytes`` (what the wire model charges for) is unchanged:
+
+* ``("mc_ctrl", payload)``
+* ``("mc_data", op, ack_port, payload)``
+* ``("mc_ack", op)``
+* ``("mc_nack", op, missing, repair_port)``
+* ``("mc_repair", op, chunks)``
 """
 
 from __future__ import annotations
@@ -66,7 +76,7 @@ class MulticastSender:
         self.stack.udp_send(
             IPv4Address(group_ip),
             dport,
-            {"kind": "mc_ctrl", "payload": payload},
+            ("mc_ctrl", payload),
             payload_bytes,
         )
 
@@ -102,12 +112,7 @@ class MulticastSender:
         self.stack.udp_send(
             IPv4Address(group_ip),
             dport,
-            {
-                "kind": "mc_data",
-                "op": op,
-                "ack_port": ack_port,
-                "payload": payload,
-            },
+            ("mc_data", op, ack_port, payload),
             payload_bytes,
             sport=ack_port,
         )
@@ -115,11 +120,11 @@ class MulticastSender:
         while len(acks) < k:
             dgram = yield inbox.get()
             body = dgram.payload
-            if body.get("op") != op:
+            if type(body) is not tuple or len(body) < 2 or body[1] != op:
                 continue
-            if body.get("kind") == "mc_ack":
+            if body[0] == "mc_ack":
                 acks.append((dgram.src_ip, sim.now))
-            elif body.get("kind") == "mc_nack":
+            elif body[0] == "mc_nack":
                 self._repair(dgram, payload_bytes)
         if len(acks) < n_receivers:
             sim.process(
@@ -143,24 +148,24 @@ class MulticastSender:
                 break
             dgram = got[get]
             body = dgram.payload
-            if body.get("op") != op:
+            if type(body) is not tuple or len(body) < 2 or body[1] != op:
                 continue
-            if body.get("kind") == "mc_ack":
+            if body[0] == "mc_ack":
                 remaining -= 1
-            elif body.get("kind") == "mc_nack":
+            elif body[0] == "mc_nack":
                 self._repair(dgram, payload_bytes)
         self.stack.udp_unbind(ack_port)
         return remaining
 
     def _repair(self, nack: Datagram, payload_bytes: int) -> None:
         """Unicast the missing chunks back to the NACKing receiver."""
-        body = nack.payload
-        missing = int(body["missing"])
+        _, op, missing, repair_port = nack.payload
+        missing = int(missing)
         repair_bytes = min(missing * MTU_BYTES, payload_bytes)
         self.stack.udp_send(
             nack.src_ip,
-            body["repair_port"],
-            {"kind": "mc_repair", "op": body["op"], "chunks": missing},
+            repair_port,
+            ("mc_repair", op, missing),
             repair_bytes,
             sport=nack.dport,
         )
@@ -209,8 +214,10 @@ class MulticastEndpoint:
     def _run(self):
         while True:
             dgram = yield self._raw.get()
-            body = dgram.payload or {}
-            kind = body.get("kind")
+            body = dgram.payload
+            if type(body) is not tuple or not body:
+                continue  # not one of ours; drop.
+            kind = body[0]
             if kind == "mc_data":
                 self._on_data(dgram, body)
             elif kind == "mc_repair":
@@ -219,7 +226,7 @@ class MulticastEndpoint:
                 self._on_ctrl(dgram, body)
             # anything else on this port is not ours; drop.
 
-    def _on_ctrl(self, dgram: Datagram, body: dict) -> None:
+    def _on_ctrl(self, dgram: Datagram, body: tuple) -> None:
         """Unreliable control message: deliver unless its single chunk is lost."""
         if self._lose(1):
             return
@@ -228,67 +235,63 @@ class MulticastEndpoint:
                 src_ip=dgram.src_ip,
                 ack_port=0,
                 op=(),
-                payload=body["payload"],
+                payload=body[1],
                 payload_bytes=dgram.payload_bytes,
                 virtual_dst=dgram.virtual_dst,
             )
         )
 
-    def _on_data(self, dgram: Datagram, body: dict) -> None:
+    def _on_data(self, dgram: Datagram, body: tuple) -> None:
         total = _chunks(dgram.payload_bytes)
         lost = self._lose(total)
         if lost == 0:
             self._complete(dgram, body)
         else:
-            self._partial[body["op"]] = (lost, dgram)
+            self._partial[body[1]] = (lost, dgram)
             self._nack(dgram, body, lost)
 
-    def _on_repair(self, dgram: Datagram, body: dict) -> None:
-        entry = self._partial.get(body["op"])
+    def _on_repair(self, dgram: Datagram, body: tuple) -> None:
+        op = body[1]
+        entry = self._partial.get(op)
         if entry is None:
             return  # duplicate repair after completion
         self.repairs_received += 1
         missing, original = entry
-        repaired = int(body["chunks"])
+        repaired = int(body[2])
         still_lost = self._lose(repaired)
         missing = missing - repaired + still_lost
         if missing <= 0:
-            del self._partial[body["op"]]
-            odgram_body = original.payload
-            self._complete(original, odgram_body)
+            del self._partial[op]
+            self._complete(original, original.payload)
         else:
-            self._partial[body["op"]] = (missing, original)
+            self._partial[op] = (missing, original)
             self._nack(original, original.payload, missing)
 
-    def _nack(self, dgram: Datagram, body: dict, missing: int) -> None:
+    def _nack(self, dgram: Datagram, body: tuple, missing: int) -> None:
         self.nacks_sent += 1
         self.stack.udp_send(
             dgram.src_ip,
-            body["ack_port"],
-            {
-                "kind": "mc_nack",
-                "op": body["op"],
-                "missing": missing,
-                "repair_port": self.port,
-            },
+            body[2],
+            ("mc_nack", body[1], missing, self.port),
             0,
             sport=self.port,
         )
 
-    def _complete(self, dgram: Datagram, body: dict) -> None:
+    def _complete(self, dgram: Datagram, body: tuple) -> None:
+        _, op, ack_port, payload = body
         self.stack.udp_send(
             dgram.src_ip,
-            body["ack_port"],
-            {"kind": "mc_ack", "op": body["op"]},
+            ack_port,
+            ("mc_ack", op),
             0,
             sport=self.port,
         )
         self.messages.put(
             MulticastMessage(
                 src_ip=dgram.src_ip,
-                ack_port=body["ack_port"],
-                op=body["op"],
-                payload=body["payload"],
+                ack_port=ack_port,
+                op=op,
+                payload=payload,
                 payload_bytes=dgram.payload_bytes,
                 virtual_dst=dgram.virtual_dst,
             )

@@ -112,7 +112,11 @@ def test_put_multicast_uses_group_address_on_core():
 
     out = run_ops(cluster, driver)
     assert out["put"].ok
-    data_packets = [p for _, p in received if (p.payload or {}).get("kind") == "mc_data"]
+    data_packets = [
+        p
+        for _, p in received
+        if type(p.payload) is tuple and p.payload and p.payload[0] == "mc_data"
+    ]
     assert len(data_packets) == 3
     for pkt in data_packets:
         assert pkt.dst_ip == mc_group_address(partition)  # no per-replica rewrite

@@ -94,7 +94,10 @@ def test_by_op_collects_cross_component_events():
 
 def test_packet_op_top_level_and_nested():
     assert packet_op({"op_id": ["10.0.0.1", 3]}) == ("10.0.0.1", 3)
-    assert packet_op({"payload": {"op_id": ("c", 1)}}) == ("c", 1)
+    # Reliable-multicast tuple envelopes carry the application dict inside.
+    assert packet_op(("mc_data", ("c", 9), 7400, {"op_id": ("c", 1)})) == ("c", 1)
+    assert packet_op(("mc_ctrl", {"op_id": ("c", 2)})) == ("c", 2)
+    assert packet_op(("mc_ack", ("c", 9))) is None
     assert packet_op({"type": "heartbeat"}) is None
     assert packet_op(b"raw-bytes") is None
     assert packet_op(None) is None

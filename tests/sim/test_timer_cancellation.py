@@ -1,0 +1,88 @@
+"""Property test: tombstone timer cancellation vs a naive reference heap.
+
+The kernel cancels timers by tombstoning their pooled heap record in O(1)
+(DESIGN.md §5g) instead of removing it; tombstones are swept and recycled
+at pop time.  This test drives randomized schedule/cancel interleavings
+through the simulator and checks the surviving timers fire in exactly the
+order a naive model — a sorted list pruned on cancel — predicts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+# Fire times are integers, cancel times sit on the half-grid, so a cancel
+# never ties with a firing and the reference model needs no tie-break rule.
+_TIMERS = st.lists(
+    st.tuples(st.integers(1, 40), st.one_of(st.none(), st.integers(0, 90))),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _cancel_time(slot: int) -> float:
+    return slot * 0.5 + 0.25
+
+
+@given(timers=_TIMERS)
+@settings(max_examples=80, deadline=None)
+def test_cancellation_matches_reference_heap(timers):
+    sim = Simulator()
+    fired = []
+    for seq, (delay, cancel_slot) in enumerate(timers):
+        ev = sim.timeout(float(delay), seq)
+        ev.add_callback(lambda e, s=sim: fired.append((s.now, e.value)))
+        if cancel_slot is not None:
+            # May land before the fire time (a real cancellation) or after
+            # it (a no-op on an already-processed event) — both legal.
+            sim.call_in(_cancel_time(cancel_slot), sim.cancel_timer, ev)
+    sim.run()
+
+    reference = sorted(
+        (float(delay), seq)
+        for seq, (delay, cancel_slot) in enumerate(timers)
+        if cancel_slot is None or _cancel_time(cancel_slot) > float(delay)
+    )
+    assert fired == reference
+    # Every tombstone was swept and recycled: nothing pending, and the
+    # bookkeeping that backs ``pending_events`` returned to zero.
+    assert sim.pending_events == 0
+    assert sim._cancelled == 0
+
+
+@given(timers=_TIMERS)
+@settings(max_examples=40, deadline=None)
+def test_double_cancel_is_idempotent(timers):
+    sim = Simulator()
+    events = []
+    for seq, (delay, _) in enumerate(timers):
+        events.append(sim.timeout(float(delay), seq))
+    for ev in events:
+        sim.cancel_timer(ev)
+        sim.cancel_timer(ev)  # second cancel must be a no-op
+    assert sim.pending_events == 0
+    sim.run()
+    assert sim.now == 0.0  # nothing fired, clock never moved
+
+
+def test_cancelled_timer_revives_on_new_waiter():
+    """A cancelled timer a process later yields on still fires (at its
+    original time, or immediately if that time already passed)."""
+    sim = Simulator()
+    t_future = sim.timeout(5.0, "future")
+    t_past = sim.timeout(1.0, "past")
+    sim.cancel_timer(t_future)
+    sim.cancel_timer(t_past)
+    sim.run()  # drains to empty; clock stays at 0 (both cancelled)
+    assert sim.now == 0.0
+
+    sim.call_in(2.0, lambda: None)
+    sim.run()  # move the clock past t_past's original fire time
+    assert sim.now == 2.0
+
+    fired = []
+    t_future.add_callback(lambda e: fired.append((sim.now, e.value)))
+    t_past.add_callback(lambda e: fired.append((sim.now, e.value)))
+    sim.run()
+    # t_past's time already passed: fires "now"; t_future at its own time.
+    assert fired == [(2.0, "past"), (5.0, "future")]
