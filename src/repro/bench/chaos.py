@@ -159,7 +159,10 @@ def _table_snapshot(cluster) -> List:
     cookies excluded, mutable per-rule stats (seq, hit counters) ignored —
     two snapshots are equal iff the switches would forward identically."""
     snap = []
-    for switch in [cluster.switch] + list(getattr(cluster, "edge_switches", [])):
+    switches = getattr(cluster, "switches", None)
+    if switches is None:
+        switches = [cluster.switch] + list(getattr(cluster, "edge_switches", []))
+    for switch in switches:
         rules = sorted(
             (r.cookie, r.priority, str(r.match), str(list(r.actions)))
             for r in switch.table.iter_rules()
@@ -194,10 +197,7 @@ def _controlplane_provenance(cluster) -> Dict:
         "epoch_final": service.epoch,
         "promotions": ha.promotions.value,
         "demotions": ha.demotions.value,
-        "fenced_flow_mods": sum(
-            sw.fenced_mods.value
-            for sw in [cluster.switch] + list(cluster.edge_switches)
-        ),
+        "fenced_flow_mods": sum(sw.fenced_mods.value for sw in cluster.switches),
         "membership_fenced": sum(n.membership_fenced.value for n in nodes),
         "meta_failovers": sum(n.meta_failovers.value for n in nodes),
         "takeover_reconcile": {

@@ -36,7 +36,7 @@ from ..workloads import (
     run_fault_timeline,
 )
 from .harness import ExperimentResult, build_nice, build_noob, run_to_completion
-from .parallel import Cell, run_cells
+from .parallel import Cell, derive_seed, run_cells
 
 __all__ = [
     "fig4_request_routing",
@@ -647,4 +647,174 @@ def sec46_switch_scalability(
         "match per partition (2PC timestamp target), hence 3N / (R+3)N "
         "measured — same O(N) / O(RN) scaling"
     )
+    return result
+
+
+# -- scale: leaf-spine fabric (DESIGN.md §5h) -----------------------------------------
+
+
+#: The racks x hosts ladder the scale figure sweeps.  ``budget`` is the
+#: per-switch rule budget handed to every fabric switch (0 = unlimited,
+#: used for the single-switch baseline cell).
+SCALE_CONFIGS: Tuple[Dict, ...] = (
+    dict(racks=1, hosts_per_rack=30, n_clients=8, budget=0),
+    dict(racks=4, hosts_per_rack=16, n_clients=8, budget=1024),
+    dict(racks=10, hosts_per_rack=30, n_clients=10, budget=4096),
+)
+
+
+def scale_cell(
+    racks: int,
+    hosts_per_rack: int,
+    n_clients: int,
+    budget: int,
+    n_ops: int,
+    seed: int,
+) -> Dict:
+    """One rung of the ladder: build the fabric, run a mixed closed-loop
+    workload, report throughput plus the per-switch rule census."""
+    n_nodes = racks * hosts_per_rack
+    kwargs = dict(n_storage_nodes=n_nodes, n_clients=n_clients, seed=seed)
+    if racks > 1:
+        kwargs.update(n_racks=racks, switch_rule_budget=budget)
+    cluster = build_nice(**kwargs)
+    sim = cluster.sim
+    keys = [f"scale-{i}" for i in range(2 * n_clients)]
+    done = {"ops": 0, "elapsed": 0.0}
+
+    def per_client(client, my_keys):
+        puts = yield closed_loop_puts(client, sim, n_ops, 1024, keys=my_keys)
+        gets = yield closed_loop_gets(client, sim, n_ops, my_keys)
+        done["ops"] += puts.count + gets.count
+
+    def driver(sim):
+        seeder = cluster.clients[0]
+        for key in keys:
+            r = yield seeder.put(key, "seed", 1024)
+            assert r.ok, f"seed put failed for {key}"
+        start = sim.now
+        procs = [
+            sim.process(per_client(c, keys[2 * i : 2 * i + 2]))
+            for i, c in enumerate(cluster.clients)
+        ]
+        yield AllOf(sim, procs)
+        done["elapsed"] = sim.now - start
+
+    run_to_completion(cluster, sim.process(driver(sim)))
+    counts = cluster.controller.rule_counts_by_switch()
+    row = dict(
+        racks=racks,
+        hosts_per_rack=hosts_per_rack,
+        nodes=n_nodes,
+        switches=len(counts),
+        throughput_ops_s=(done["ops"] / done["elapsed"]) if done["elapsed"] else 0.0,
+        ops=done["ops"],
+        total_rules=sum(counts.values()),
+        max_switch_rules=max(counts.values()),
+        vring_rules=cluster.controller.rule_count(),
+        rule_budget=budget,
+        budget_ok=bool(budget <= 0 or max(counts.values()) <= budget),
+    )
+    return {"rows": [row]}
+
+
+def scale_chaos_cell(
+    racks: int,
+    hosts_per_rack: int,
+    n_clients: int,
+    budget: int,
+    duration: float,
+    seed: int,
+) -> Dict:
+    """The fabric fault cell: a whole rack isolated mid-workload, healed,
+    rejoined — the history must stay linearizable and reconcile-after-heal
+    must match a from-scratch sync on every switch."""
+    from ..chaos import ChaosEngine, FaultSchedule
+    from ..check import HistoryRecorder, check_linearizable
+    from .chaos import _table_snapshot, _workload
+
+    cluster = build_nice(
+        n_storage_nodes=racks * hosts_per_rack,
+        n_clients=n_clients,
+        n_racks=racks,
+        switch_rule_budget=budget,
+        seed=seed,
+    )
+    sim = cluster.sim
+    keys = [f"k{i}" for i in range(6)]
+    recorder = HistoryRecorder()
+    _workload(cluster, recorder, keys, duration, seed)
+    engine = ChaosEngine(
+        cluster, FaultSchedule.rack_outage(rack=1, start=2.0, heal_at=5.0), seed=seed
+    )
+    engine.start()
+    sim.run(until=duration)
+
+    lin = check_linearizable(recorder.ops)
+    service = cluster.metadata_active
+    steady = service.reconcile_switches()
+    sim.run(until=sim.now + 0.05)
+    reconciled = _table_snapshot(cluster)
+    cluster.controller.sync_all(epoch=service.epoch)
+    sim.run(until=sim.now + 0.05)
+    scratch = _table_snapshot(cluster)
+    counts = cluster.controller.rule_counts_by_switch()
+    row = dict(
+        racks=racks,
+        hosts_per_rack=hosts_per_rack,
+        nodes=racks * hosts_per_rack,
+        schedule="rack_outage",
+        n_ops=len(recorder.ops),
+        ok_ops=sum(1 for op in recorder.ops if op.ok),
+        linearizable=bool(lin.ok),
+        reason=lin.reason,
+        chaos_events=[[t, label] for t, label in engine.events],
+        steady_reconcile=steady,
+        reconcile_matches_scratch=bool(reconciled == scratch),
+        max_switch_rules=max(counts.values()),
+        rule_budget=budget,
+        budget_ok=bool(budget <= 0 or max(counts.values()) <= budget),
+    )
+    return {"rows": [row]}
+
+
+def scale_fabric(
+    n_ops: int = 20,
+    configs: Sequence[Dict] = SCALE_CONFIGS,
+    chaos_duration: float = 8.0,
+    seed: int = BASE_SEED,
+) -> ExperimentResult:
+    """Throughput and installed-rule count vs cluster size on the
+    leaf-spine fabric, plus one rack-outage chaos cell on the 4-rack rung."""
+    result = ExperimentResult(
+        "scale",
+        "Leaf-spine fabric - throughput and rule census vs cluster size",
+        [
+            "racks", "hosts_per_rack", "nodes", "switches",
+            "throughput_ops_s", "total_rules", "max_switch_rules",
+            "vring_rules", "rule_budget", "budget_ok",
+        ],
+    )
+    cells = [
+        Cell(scale_cell, dict(n_ops=n_ops, **cfg), seed=derive_seed(seed, "scale", cfg["racks"]))
+        for cfg in configs
+    ]
+    chaos_cfg = next((c for c in configs if c["racks"] > 1), None)
+    if chaos_cfg is not None:
+        cells.append(
+            Cell(
+                scale_chaos_cell,
+                dict(duration=chaos_duration, **chaos_cfg),
+                seed=derive_seed(seed, "scale-chaos", chaos_cfg["racks"]),
+            )
+        )
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
+    over = [r for r in result.rows if not r.get("budget_ok", True)]
+    result.note(
+        "per-rack prefixes aggregate to 2 wildcards per rack at each spine; "
+        "leaves carry the per-partition vring rules (the §4.6 budget)"
+    )
+    if over:
+        result.note(f"BUDGET EXCEEDED in {len(over)} row(s)")
     return result

@@ -116,8 +116,24 @@ class ChaosEngine:
         return name
 
     def _access_link(self, name: str):
+        # The host's own port's link — identical to the sw0<->host link in
+        # the single-switch topology, and the leaf<->host link in a fabric.
         host = self.cluster.nodes[name].host
-        return self.cluster.network.link_between(self.cluster.switch, host)
+        return host.port.link
+
+    def _access_switch(self, name: str):
+        """The switch the node's access link terminates on."""
+        host = self.cluster.nodes[name].host
+        peer = host.port.peer
+        return peer.device if peer is not None else self.cluster.switch
+
+    def _all_switches(self) -> list:
+        switches = getattr(self.cluster, "switches", None)
+        if switches is not None:
+            return list(switches)
+        return [self.cluster.switch] + list(
+            getattr(self.cluster, "edge_switches", [])
+        )
 
     # -- event dispatch ------------------------------------------------------------
     def _fire(self, event: FaultEvent) -> None:
@@ -172,6 +188,54 @@ class ChaosEngine:
         link.set_down(False)
         self._mark(f"{name} link up")
 
+    # -- rack-level faults (leaf-spine fabric) -----------------------------------------
+    def _rack_target(self, event: FaultEvent):
+        fabric = getattr(self.cluster, "fabric", None)
+        kind, _, arg = event.target.partition(":")
+        if fabric is None or kind != "rack":
+            return None, None
+        rack = int(arg)
+        if not 0 <= rack < fabric.n_racks:
+            return None, None
+        return fabric, rack
+
+    def _do_rack_isolate(self, event: FaultEvent) -> None:
+        """Cut every uplink of the rack's leaf: the whole failure domain
+        drops off the fabric at once (hosts still reach each other through
+        the leaf, exactly like a real spine-facing optics failure)."""
+        fabric, rack = self._rack_target(event)
+        if fabric is None:
+            self._mark(f"rack_isolate skipped ({event.target})")
+            return
+        for link in fabric.uplinks_of(rack):
+            link.set_down(True)
+        self._mark(f"rack {rack} isolated ({len(fabric.uplinks_of(rack))} uplinks down)")
+
+    def _do_rack_heal(self, event: FaultEvent) -> None:
+        """Bring the uplinks back and two-phase-rejoin every node in the
+        rack the metadata service declared failed during the outage."""
+        fabric, rack = self._rack_target(event)
+        if fabric is None:
+            self._mark(f"rack_heal skipped ({event.target})")
+            return
+        for link in fabric.uplinks_of(rack):
+            link.set_down(False)
+        self._mark(f"rack {rack} uplinks healed")
+        metadata = self.cluster.metadata_active
+        for name in sorted(self.cluster.nodes):
+            if self.cluster.rack_of.get(name) != rack:
+                continue
+            if metadata.status.get(name) != "down":
+                continue
+            node = self.cluster.nodes[name]
+            self._mark(f"{name} restarts")
+            proc = node.restart()
+            if proc is not None:
+                def done(_=None, name=name):
+                    self._mark(f"{name} consistent")
+
+                self.sim.process(self._await(proc, done))
+
     def _peer_ips(self, name: str) -> List:
         """IPs of the target's storage peers plus the metadata service."""
         ips = [
@@ -189,9 +253,10 @@ class ChaosEngine:
             return
         ip = self.cluster.directory[name]
         cookie = f"chaos:partition:{name}"
+        access = self._access_switch(name)
         for peer_ip in self._peer_ips(name):
             for src, dst in ((ip, peer_ip), (peer_ip, ip)):
-                self.cluster.switch.install_rule(
+                access.install_rule(
                     Rule(
                         Match(ip_src=src, ip_dst=dst),
                         [Drop()],
@@ -208,7 +273,7 @@ class ChaosEngine:
         if name is None:
             self._mark(f"heal_partition skipped ({event.target})")
             return
-        removed = self.cluster.switch.remove_cookie(f"chaos:partition:{name}")
+        removed = self._access_switch(name).remove_cookie(f"chaos:partition:{name}")
         self._mark(f"{name} partition healed ({removed} rules)")
 
     def _do_loss(self, event: FaultEvent) -> None:
@@ -256,9 +321,7 @@ class ChaosEngine:
         partition = self._partition_of_key(key)
         down_s = float(event.param("down_s", 0.2))
         removed = 0
-        for switch in [self.cluster.switch] + list(
-            getattr(self.cluster, "edge_switches", [])
-        ):
+        for switch in self._all_switches():
             removed += switch.remove_cookie(f"uni:{partition}")
             removed += switch.remove_cookie(f"mc:{partition}")
 

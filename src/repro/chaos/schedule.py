@@ -31,6 +31,11 @@ Event kinds (see the engine for exact semantics):
                    packet-ins are dropped (NICE only)
 ``controller_recover`` restore the channel and run the epoch-stamped
                    reconciliation pass (diff-repair, not reinstall)
+``rack_isolate``   cut every spine uplink of one rack's leaf switch — the
+                   whole failure domain drops off the fabric (leaf-spine
+                   clusters only; target ``"rack:<idx>"``)
+``rack_heal``      restore the rack's uplinks and two-phase-rejoin every
+                   node the metadata service declared failed meanwhile
 =================  ==========================================================
 
 Targets are symbolic and resolved by the engine *at fire time* (membership
@@ -155,6 +160,23 @@ class FaultSchedule:
                 FaultEvent.make(heal_at, "rejoin", f"secondary:{key}"),
             ),
             "secondary's access link fully dark, heal + rejoin",
+        )
+
+    @staticmethod
+    def rack_outage(rack: int = 1, start: float = 2.0, heal_at: float = 5.0) -> "FaultSchedule":
+        """Take a whole rack off the fabric (leaf uplinks dark), then heal.
+
+        The rack-aware placement guarantees every replica set spans >= 2
+        racks, so the surviving fabric must keep every partition available
+        and linearizable; on heal, the rack's nodes run the §4.4 two-phase
+        rejoin."""
+        return FaultSchedule(
+            "rack_outage",
+            (
+                FaultEvent.make(start, "rack_isolate", f"rack:{rack}"),
+                FaultEvent.make(heal_at, "rack_heal", f"rack:{rack}"),
+            ),
+            f"rack {rack} isolated from the spines, later healed + rejoined",
         )
 
     @staticmethod

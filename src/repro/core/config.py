@@ -116,6 +116,19 @@ class ClusterConfig:
     #: the virtual→physical rewrites, the hardware switch only forwards
     #: and multicasts (it cannot modify destination addresses).
     deployment: str = "hw"
+    #: Leaf–spine fabric shape (DESIGN.md §5h).  ``n_racks == 1`` (default)
+    #: keeps the paper's single hardware switch and is bit-identical to the
+    #: pre-fabric builder; ``n_racks > 1`` puts each rack behind a leaf
+    #: switch and meshes the leaves to ``n_spines`` spine switches with
+    #: deterministic hash-based ECMP uplink selection.
+    n_racks: int = 1
+    n_spines: int = 2
+    #: Per-switch flow-table budget for fabric switches (0 = unlimited).
+    #: When set, every leaf and spine is built with this table capacity, so
+    #: exceeding the budget raises at rule-install time (§4.6 for real).
+    switch_rule_budget: int = 0
+    #: Salt for the fabric's ECMP hash — same seed, same paths.
+    ecmp_seed: int = 0
     #: Simulation fidelity (DESIGN.md §5g): "exact" (default) simulates
     #: every wire event discretely; "approx" aggregates steady-state
     #: data-plane flows analytically (per-link service-rate accounting)
@@ -147,3 +160,25 @@ class ClusterConfig:
             raise ValueError(f"sim_mode must be 'exact' or 'approx': {self.sim_mode!r}")
         if self.metadata_standbys < 0:
             raise ValueError(f"metadata_standbys must be >= 0: {self.metadata_standbys}")
+        if self.n_racks < 1:
+            raise ValueError(f"n_racks must be >= 1: {self.n_racks}")
+        if self.n_spines < 1:
+            raise ValueError(f"n_spines must be >= 1: {self.n_spines}")
+        if self.switch_rule_budget < 0:
+            raise ValueError(
+                f"switch_rule_budget must be >= 0: {self.switch_rule_budget}"
+            )
+        if self.n_racks > 1:
+            if self.deployment != "hw":
+                raise ValueError(
+                    "the leaf-spine fabric models rewriting leaves; "
+                    "deployment must be 'hw' when n_racks > 1"
+                )
+            # Each rack gets one 10.0.<rack>.0/24 storage block; rack 0 also
+            # hosts the metadata service at .250+.
+            per_rack = -(-self.n_storage_nodes // self.n_racks)
+            if per_rack > 200:
+                raise ValueError(
+                    f"{per_rack} storage nodes per rack exceeds the /24 "
+                    "rack address block"
+                )

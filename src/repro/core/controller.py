@@ -45,6 +45,7 @@ from ..net import (
     SetEthDst,
     SetIpDst,
     ToController,
+    ecmp_index,
     make_arp_request,
 )
 from .config import ClusterConfig, GET_PORT
@@ -56,8 +57,14 @@ __all__ = ["NiceControllerApp", "HostRecord", "SwitchInfo"]
 #: Rule priorities (higher wins).
 PRIO_ARP = 500
 PRIO_LB = 300
+#: Fabric: multicast arriving from the designated spine is delivered
+#: locally; it must outrank the plain ascend rule on the same address.
+PRIO_MC_DELIVER = 210
 PRIO_VRING = 200
 PRIO_L3 = 150
+#: Fabric: per-rack aggregated prefix routes — below every /32 host route,
+#: so local delivery always wins on a leaf.
+PRIO_L3AGG = 140
 
 #: Controller's pseudo-identity for ARP requests it originates.
 _CTRL_IP = IPv4Address("0.0.0.0")
@@ -81,12 +88,17 @@ class SwitchInfo:
       whether it supports set-field actions; the CloudLab switch did not.
     * ``edge`` — a client-side Open vSwitch: always rewrites, serves one
       client, forwards everything else up its ``uplink_port``.
+    * ``leaf`` — a rack's top-of-rack switch in the leaf–spine fabric
+      (DESIGN.md §5h): rewrites at ingress, serves rack ``rack``.
+    * ``spine`` — an aggregation switch: prefix routes and multicast
+      fan-out to leaves only, never rewrites.
     """
 
     role: str = "core"
     can_rewrite: bool = True
     client_ip: Optional[IPv4Address] = None
     uplink_port: Optional[int] = None
+    rack: Optional[int] = None
 
 
 _DEFAULT_SWITCH_INFO = SwitchInfo()
@@ -120,6 +132,10 @@ class NiceControllerApp(ControllerApp):
         self._switch_info: Dict[str, SwitchInfo] = {}
         #: (switch name, peer switch name) -> local port toward the peer.
         self._fabric_ports: Dict[Tuple[str, str], int] = {}
+        #: Fabric bookkeeping (empty outside leaf–spine deployments).
+        self._rack_prefixes: Dict[int, List[IPv4Network]] = {}
+        self._leaf_of_rack: Dict[int, str] = {}
+        self._spine_names: List[str] = []
 
     # -- deployment roles -------------------------------------------------------
     def register_switch(
@@ -129,12 +145,63 @@ class NiceControllerApp(ControllerApp):
         can_rewrite: bool = True,
         client_ip: Optional[IPv4Address] = None,
         uplink_port: Optional[int] = None,
+        rack: Optional[int] = None,
     ) -> None:
-        if role not in ("core", "edge"):
-            raise ValueError(f"switch role must be core or edge: {role!r}")
+        if role not in ("core", "edge", "leaf", "spine"):
+            raise ValueError(
+                f"switch role must be core, edge, leaf or spine: {role!r}"
+            )
         self._switch_info[switch.name] = SwitchInfo(
-            role, can_rewrite, IPv4Address(client_ip) if client_ip else None, uplink_port
+            role, can_rewrite, IPv4Address(client_ip) if client_ip else None,
+            uplink_port, rack,
         )
+        if role == "leaf":
+            self._leaf_of_rack[rack] = switch.name
+        elif role == "spine":
+            self._spine_names.append(switch.name)
+
+    def register_rack_prefix(self, rack: int, prefix: IPv4Network) -> None:
+        """Declare that ``prefix`` lives in ``rack`` — the unit of spine
+        (and remote-leaf) route aggregation."""
+        self._rack_prefixes.setdefault(rack, []).append(IPv4Network(prefix))
+
+    @property
+    def _fabric_mode(self) -> bool:
+        return bool(self._spine_names)
+
+    def rack_of_node(self, name: str) -> Optional[int]:
+        """Rack a host sits in (None outside fabric mode / pre-discovery)."""
+        rec = self.hosts.get(name)
+        if rec is None:
+            return None
+        loc = self.arp.lookup(rec.ip)
+        if loc is None:
+            return None
+        info = self._switch_info.get(loc.switch_name)
+        return info.rack if info is not None else None
+
+    def _uplink_to(self, sw_name: str, peer_name: str) -> Optional[int]:
+        return self._fabric_ports.get((sw_name, peer_name))
+
+    def _spine_toward(self, leaf_name: str, dst_rack: int) -> str:
+        """ECMP spine for unicast traffic from ``leaf_name`` to ``dst_rack``.
+
+        The flow key is (ingress leaf, destination rack) — the same key the
+        leaf's aggregated rack route uses, so per-host rewrites and the
+        aggregate prefix rule always pick the same path.
+        """
+        spines = self._spine_names
+        return spines[ecmp_index(len(spines), leaf_name, dst_rack, self.config.ecmp_seed)]
+
+    def _mc_spine(self, partition: int) -> str:
+        """The one spine carrying partition ``partition``'s multicast tree.
+
+        Keyed on the partition alone (not the ingress leaf) so the tree is
+        a tree: every leaf ascends to the same spine, which fans out to
+        every leaf holding a put target — no duplicate or looping copies.
+        """
+        spines = self._spine_names
+        return spines[ecmp_index(len(spines), "mc", partition, self.config.ecmp_seed)]
 
     def _info(self, switch) -> SwitchInfo:
         return self._switch_info.get(switch.name, _DEFAULT_SWITCH_INFO)
@@ -185,8 +252,13 @@ class NiceControllerApp(ControllerApp):
     def _static_rules(self, switch, info: SwitchInfo) -> List[Rule]:
         """ARP punt rule on every switch, plus edge-switch base rules:
         deliver the attached client's traffic to it, default everything
-        else up the uplink."""
+        else up the uplink.  Fabric switches additionally carry the
+        per-rack aggregated prefix routes (one wildcard per rack prefix
+        instead of one /32 per host — the §4.6 budget saver)."""
         rules = [Rule(Match(proto=Proto.ARP), [ToController()], PRIO_ARP, cookie="arp")]
+        if info.role in ("leaf", "spine"):
+            rules.extend(self._aggregate_rules(switch, info))
+            return rules
         if info.role != "edge":
             return rules
         rec = self._host_by_ip.get(info.client_ip)
@@ -202,6 +274,35 @@ class NiceControllerApp(ControllerApp):
             )
         if info.uplink_port is not None:
             rules.append(Rule(Match(), [Output(info.uplink_port)], 1, cookie="edge-base"))
+        return rules
+
+    def _aggregate_rules(self, switch, info: SwitchInfo) -> List[Rule]:
+        """Per-rack wildcard routes (cookie ``l3agg:<rack>``).
+
+        * On a spine: every rack prefix routes down to that rack's leaf.
+        * On a leaf: every *remote* rack prefix routes up the ECMP-chosen
+          uplink for (this leaf, that rack); local hosts are covered by
+          their /32 ``l3:`` rules at higher priority.
+        """
+        rules: List[Rule] = []
+        for rack in sorted(self._rack_prefixes):
+            if info.role == "spine":
+                port = self._uplink_to(switch.name, self._leaf_of_rack[rack])
+            elif rack == info.rack:
+                continue
+            else:
+                port = self._uplink_to(switch.name, self._spine_toward(switch.name, rack))
+            if port is None:
+                continue  # pre-discovery: fabric ports not yet learned
+            for prefix in self._rack_prefixes[rack]:
+                rules.append(
+                    Rule(
+                        Match(ip_dst=prefix),
+                        [Output(port)],
+                        PRIO_L3AGG,
+                        cookie=f"l3agg:{rack}",
+                    )
+                )
         return rules
 
     def install_static_rules(self) -> None:
@@ -243,6 +344,13 @@ class NiceControllerApp(ControllerApp):
         group must land before the rules that reference it."""
         if info.role == "edge":
             return self._edge_rules(rs, switch, info), None, []
+        if info.role == "spine":
+            group, post = self._spine_mc_entry(rs, switch)
+            return [], group, post
+        if info.role == "leaf":
+            pre = self._unicast_rules(rs, switch)
+            group, post = self._leaf_mc_entry(rs, switch, info)
+            return pre, group, post
         pre = self._unicast_rules(rs, switch) if info.can_rewrite else []
         group, post = self._multicast_entry(rs, switch, info)
         return pre, group, post
@@ -317,6 +425,91 @@ class NiceControllerApp(ControllerApp):
             )
         return group, rules
 
+    def _leaf_mc_entry(
+        self, rs: ReplicaSet, switch, info: SwitchInfo
+    ) -> Tuple[Optional[Group], List[Rule]]:
+        """Leaf side of the partition's multicast tree (DESIGN.md §5h).
+
+        Three rules, one shared group address ``mcaddr``:
+
+        * *deliver* — ``mcaddr`` arriving on the uplink from the designated
+          spine fans into the local ALL-group (put targets in this rack),
+          with the virtual→physical rewrite in the buckets.
+        * *ascend* — ``mcaddr`` from any other port (a storage node's 2PC
+          multicast) climbs to the designated spine.
+        * *client rewrite* — the multicast-vring subgroup prefix is
+          rewritten to ``mcaddr`` at ingress and climbs likewise.
+
+        Every copy transits the spine — including rack-local ones — so
+        each put target receives exactly one copy, sender included, exactly
+        as the single-switch ALL-group behaves.
+        """
+        mcaddr = mc_group_address(rs.partition)
+        spine = self._mc_spine(rs.partition)
+        up = self._uplink_to(switch.name, spine)
+        if up is None:
+            return None, []
+        buckets = []
+        for name in rs.put_targets():
+            rec = self.hosts.get(name)
+            loc = self.arp.lookup(rec.ip) if rec else None
+            if loc is None or loc.switch_name != switch.name:
+                continue
+            buckets.append(
+                Bucket(actions=(SetIpDst(rec.ip), SetEthDst(rec.mac)), port=loc.port_no)
+            )
+        cookie = f"mc:{rs.partition}"
+        rules = []
+        if buckets:
+            rules.append(
+                Rule(
+                    Match(ip_dst=mcaddr, in_port=up),
+                    [OutputGroup(rs.partition)],
+                    PRIO_MC_DELIVER,
+                    cookie=cookie,
+                )
+            )
+        rules.append(
+            Rule(Match(ip_dst=mcaddr), [Output(up)], PRIO_VRING, cookie=cookie)
+        )
+        rules.append(
+            Rule(
+                Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
+                [SetIpDst(mcaddr), Output(up)],
+                PRIO_VRING,
+                cookie=cookie,
+            )
+        )
+        group = Group(group_id=rs.partition, buckets=buckets) if buckets else None
+        return group, rules
+
+    def _spine_mc_entry(self, rs: ReplicaSet, switch) -> Tuple[Optional[Group], List[Rule]]:
+        """Spine side of the tree: only the designated spine carries the
+        partition, fanning ``mcaddr`` to every leaf with a put target."""
+        if switch.name != self._mc_spine(rs.partition):
+            return None, []
+        racks = set()
+        for name in rs.put_targets():
+            rack = self.rack_of_node(name)
+            if rack is not None:
+                racks.add(rack)
+        buckets = []
+        for rack in sorted(racks):
+            port = self._uplink_to(switch.name, self._leaf_of_rack[rack])
+            if port is not None:
+                buckets.append(Bucket(actions=(), port=port))
+        if not buckets:
+            return None, []
+        rules = [
+            Rule(
+                Match(ip_dst=mc_group_address(rs.partition)),
+                [OutputGroup(rs.partition)],
+                PRIO_VRING,
+                cookie=f"mc:{rs.partition}",
+            )
+        ]
+        return Group(group_id=rs.partition, buckets=buckets), rules
+
     def _edge_rules(self, rs: ReplicaSet, switch, info: SwitchInfo) -> List[Rule]:
         """Client-side OVS rules (§5.1): rewrite virtual destinations to
         physical ones, then punt up the uplink; the hardware switch does
@@ -373,9 +566,20 @@ class NiceControllerApp(ControllerApp):
 
     def _rewrite_to(self, rec: HostRecord, switch) -> list:
         loc = self.arp.lookup(rec.ip)
-        if loc is None or loc.switch_name != switch.name:
-            return [ToController()]  # location unknown: punt (then ARP)
-        return [SetIpDst(rec.ip), SetEthDst(rec.mac), Output(loc.port_no)]
+        if loc is not None and loc.switch_name == switch.name:
+            return [SetIpDst(rec.ip), SetEthDst(rec.mac), Output(loc.port_no)]
+        if loc is not None and self._info(switch).role == "leaf":
+            # Remote replica: rewrite at ingress, then climb the same ECMP
+            # uplink the aggregated rack route uses; the spine's prefix
+            # rule and the remote leaf's /32 finish the path.
+            remote = self._switch_info.get(loc.switch_name)
+            if remote is not None and remote.rack is not None:
+                up = self._uplink_to(
+                    switch.name, self._spine_toward(switch.name, remote.rack)
+                )
+                if up is not None:
+                    return [SetIpDst(rec.ip), SetEthDst(rec.mac), Output(up)]
+        return [ToController()]  # location unknown: punt (then ARP)
 
     def _l3_rule(self, rec: HostRecord, switch, info: SwitchInfo) -> Optional[Rule]:
         loc = self.arp.lookup(rec.ip)
@@ -547,7 +751,7 @@ class NiceControllerApp(ControllerApp):
             now = switch.sim.now
             if self.arp.should_ask(dst, now):
                 req = make_arp_request(_CTRL_IP, _CTRL_MAC, dst)
-                self.channel.packet_out(switch, req, [Output(FLOOD)])
+                self._arp_flood(switch, req)
 
     def _on_arp(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:
         body = packet.payload or {}
@@ -561,8 +765,35 @@ class NiceControllerApp(ControllerApp):
                 self.channel.release_buffered(sw, bid)
         elif body.get("op") == "request":
             # Host-originated ARP (not used by NICE clients): flood it.
-            self.channel.packet_out(switch, packet.copy(), [Output(FLOOD)])
+            self._arp_flood(switch, packet.copy())
         self.channel.drop_buffered(switch, buffer_id)
+
+    def _arp_flood(self, switch, packet: Packet) -> None:
+        """Broadcast an ARP frame without looping the fabric.
+
+        Single-switch: a plain FLOOD packet-out (the original behavior).
+        Fabric: FLOOD on a leaf would re-enter other switches' ARP punt
+        rules and re-flood forever; instead the controller packet-outs one
+        copy per *host-facing* leaf port across the whole fabric.
+        """
+        if not self._fabric_mode:
+            self.channel.packet_out(switch, packet, [Output(FLOOD)])
+            return
+        for sw in self.channel.switches:
+            if self._info(sw).role != "leaf":
+                continue
+            fabric_ports = {
+                port
+                for (name, _), port in self._fabric_ports.items()
+                if name == sw.name
+            }
+            outs = [
+                Output(no)
+                for no, port in sorted(sw.ports.items())
+                if no not in fabric_ports and port.link is not None
+            ]
+            if outs:
+                self.channel.packet_out(sw, packet.copy(), outs)
 
     # -- §4.6 accounting -----------------------------------------------------------------
     def rule_count(self, cookie_prefixes: Tuple[str, ...] = ("uni:", "mc:")) -> int:
@@ -573,3 +804,12 @@ class NiceControllerApp(ControllerApp):
                 if any(rule.cookie.startswith(p) for p in cookie_prefixes):
                     total += 1
         return total
+
+    def rule_counts_by_switch(self) -> Dict[str, int]:
+        """Installed rules per switch (every cookie) — the per-switch side
+        of the §4.6 budget that the fabric's ``switch_rule_budget``
+        enforces at install time."""
+        return {
+            switch.name: len(switch.table)
+            for switch in self.channel.switches
+        }

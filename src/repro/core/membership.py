@@ -11,7 +11,13 @@ A replica set distinguishes:
   (consistency-aware fault tolerance, §3.3);
 * *joining* — rejoining members in phase 1: visible to puts (multicast
   group) but not yet to gets (§4.4, Node Recovery);
-* *handoffs* — stand-in secondaries covering for absent members (§4.4).
+* *handoffs* — stand-in secondaries covering for absent members (§4.4);
+* *uncovered* — absent members whose missed writes are NOT fully covered
+  by the current handoffs (a handoff died, or none could be appointed).
+  Correlated failures (e.g. a rack outage) can kill a handoff that was
+  itself inside the failing domain; a rejoiner listed here must run a
+  full partition fetch from the acting primary instead of trusting the
+  incremental handoff catch-up.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ class ReplicaSet:
     absent: Set[str] = field(default_factory=set)
     joining: Set[str] = field(default_factory=set)
     handoffs: List[str] = field(default_factory=list)
+    uncovered: Set[str] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -79,6 +86,10 @@ class ReplicaSet:
                     self.primary = self.handoffs[0]
         elif node in self.handoffs:
             self.handoffs.remove(node)
+            # The dead handoff may have been the only holder of writes its
+            # absent members missed; their catch-up can no longer rely on
+            # the (remaining) handoff chain.
+            self.uncovered |= set(self.absent)
 
     def add_handoff(self, node: str) -> None:
         if self.is_member(node):
@@ -100,6 +111,7 @@ class ReplicaSet:
             raise ValueError(f"{node} has not begun rejoin on p{self.partition}")
         self.joining.discard(node)
         self.absent.discard(node)
+        self.uncovered.discard(node)
         released, self.handoffs = self.handoffs, []
         if self.members and self.members[0] == node:
             self.primary = node  # original primary resumes its role
@@ -116,6 +128,7 @@ class ReplicaSet:
             "absent": sorted(self.absent),
             "joining": sorted(self.joining),
             "handoffs": list(self.handoffs),
+            "uncovered": sorted(self.uncovered),
         }
 
     @staticmethod
@@ -127,6 +140,7 @@ class ReplicaSet:
             absent=set(data["absent"]),
             joining=set(data["joining"]),
             handoffs=list(data["handoffs"]),
+            uncovered=set(data.get("uncovered", ())),
         )
 
 
@@ -142,16 +156,33 @@ class PartitionMap:
         n_partitions: int,
         replication_level: int,
         ring_points_per_node: int = 32,
+        racks: Optional[Dict[str, int]] = None,
     ) -> "PartitionMap":
         """Initial placement: partitions land on the physical consistent-hash
-        ring; the R clockwise successors form the replica set (§3.1)."""
+        ring; the R clockwise successors form the replica set (§3.1).
+
+        With ``racks`` (node -> failure domain), placement is rack-aware:
+        if the R successors all share one rack, the last member is swapped
+        for the next clockwise node from a different rack, so every
+        replica set spans >= 2 failure domains whenever the cluster does.
+        The swap is deterministic (pure ring order) and a no-op when
+        ``racks`` is None or single-rack — the pre-fabric placement.
+        """
         ring = ConsistentHashRing(points_per_node=ring_points_per_node)
         for name in node_names:
             ring.add_node(name)
+        multi_rack = racks is not None and len(set(racks.values())) > 1
         sets = []
         for p in range(n_partitions):
             point = ConsistentHashRing.partition_point(p, n_partitions)
             members = [str(n) for n in ring.successors(point, replication_level)]
+            if multi_rack and len({racks[m] for m in members}) == 1:
+                order = [str(n) for n in ring.successors(point, len(node_names))]
+                home = racks[members[0]]
+                for candidate in order[replication_level:]:
+                    if racks[candidate] != home:
+                        members[-1] = candidate
+                        break
             sets.append(ReplicaSet(partition=p, members=members))
         return PartitionMap(sets)
 

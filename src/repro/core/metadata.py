@@ -288,6 +288,10 @@ class MetadataService:
                 handoff = self._select_handoff(rs)
                 if handoff is not None:
                     rs.add_handoff(handoff)
+                else:
+                    # No stand-in exists to accumulate the writes this
+                    # node will miss: its rejoin needs a full fetch.
+                    rs.uncovered.add(node)
         self.controller.hide_host(node)
         for rs in affected:
             self.controller.sync_partition(rs.partition, epoch=self.epoch)
@@ -299,7 +303,17 @@ class MetadataService:
         if not eligible:
             return None
         eligible.sort()
-        choice = eligible[self._handoff_rr % len(eligible)]
+        # Rack awareness: prefer a stand-in from a rack the surviving put
+        # targets do not already cover, keeping the set spread over >= 2
+        # failure domains.  Outside fabric mode every rack is None, the
+        # preference filter is empty, and selection is exactly the
+        # pre-fabric round-robin.
+        covered = {self.controller.rack_of_node(n) for n in rs.put_targets()}
+        preferred = [
+            c for c in eligible if self.controller.rack_of_node(c) not in covered
+        ]
+        pool = preferred or eligible
+        choice = pool[self._handoff_rr % len(pool)]
         self._handoff_rr += 1
         return choice
 
@@ -315,6 +329,7 @@ class MetadataService:
         self.last_heartbeat[node] = self.sim.now
         self.controller.unhide_host(node, epoch=self.epoch)
         handoff_info = {}
+        full_fetch = []
         slices = []
         affected = self.partition_map.partitions_where_member(node)
         for rs in affected:
@@ -324,10 +339,19 @@ class MetadataService:
             slices.append(rs.to_wire())
             if rs.handoffs:
                 handoff_info[rs.partition] = list(rs.handoffs)
+            if node in rs.uncovered:
+                # The handoff chain broke while this node was away (a
+                # stand-in died, or none existed): incremental catch-up
+                # cannot be trusted — fetch the whole partition.
+                full_fetch.append(rs.partition)
         self._log_append("rejoin_begin", node=node, slices=affected)
         # The reply carries the fresh O(R) slices so the node can start
         # participating in puts the moment it learns its handoffs.
-        return {"handoffs": handoff_info, "replica_sets": slices}
+        return {
+            "handoffs": handoff_info,
+            "replica_sets": slices,
+            "full_fetch": full_fetch,
+        }
 
     def complete_rejoin(self, node: str) -> None:
         """Phase 2: node reports consistent data — restore get visibility,

@@ -976,20 +976,42 @@ class NiceStorageNode:
                 self._apply_abort(op)
                 body = {"type": "force_abort", "op_id": op}
             for peer in peers:
-                yield self.stack.tcp.send_message(
+                # Bounded: a peer that became unreachable mid-reconcile
+                # must not wedge the remaining force decisions.
+                send = self.stack.tcp.send_message(
                     self._peer_ip(peer), NODE_PORT, dict(body), ACK_BYTES
                 )
+                yield AnyOf(
+                    self.sim, [send, self.sim.timeout(self.config.peer_timeout_s)]
+                )
 
-    def _request(self, ip: IPv4Address, body: dict, size: int, reply_type: str):
-        """Request/response over the node TCP port with a timeout."""
+    def _request(
+        self,
+        ip: IPv4Address,
+        body: dict,
+        size: int,
+        reply_type: str,
+        wait_s: Optional[float] = None,
+    ):
+        """Request/response over the node TCP port with a timeout.
+
+        Both halves are bounded: the *send* can wedge on an unreachable
+        peer (e.g. a handoff inside an isolated rack that nobody has
+        declared failed yet), not just the reply.
+        """
+        wait = wait_s if wait_s is not None else self.config.peer_timeout_s
         token = (self.name, next(self._token_seq))
         body = dict(body, token=token)
-        conn = yield self.stack.tcp.send_message(ip, NODE_PORT, body, size)
+        send = self.stack.tcp.send_message(ip, NODE_PORT, body, size)
+        got = yield AnyOf(self.sim, [send, self.sim.timeout(wait)])
+        if send not in got:
+            return None
+        conn = got[send]
         get = conn.inbox.get(
             lambda m: (m.payload or {}).get("token") == token
             and m.payload.get("type") == reply_type
         )
-        got = yield AnyOf(self.sim, [get, self.sim.timeout(self.config.peer_timeout_s)])
+        got = yield AnyOf(self.sim, [get, self.sim.timeout(wait)])
         if get in got:
             return got[get].payload
         conn.inbox.cancel(get)
@@ -1073,6 +1095,36 @@ class NiceStorageNode:
                         yield self.disk.write(size, forced=True)
                         self.store.put(StoredObject(name, value, size, stamp))
                         recovered += 1
+            # Partitions whose handoff chain broke while we were away
+            # (correlated failures can kill the stand-in too): the
+            # incremental handoff fetch cannot cover the gap, so pull the
+            # whole partition from the acting primary.  The server-side
+            # drain holds the snapshot until in-flight 2PC rounds that
+            # predate our put-visibility have resolved.
+            for partition in reply.get("full_fetch") or ():
+                rs = self.replica_sets.get(partition)
+                if rs is None or rs.primary == self.name:
+                    continue
+                ip = self._peer_ip(rs.primary)
+                if ip is None:
+                    continue
+                data = None
+                for _ in range(2):
+                    data = yield from self._request(
+                        ip,
+                        {"type": "fetch_partition", "partition": partition},
+                        REQUEST_BYTES,
+                        reply_type="partition_data",
+                        wait_s=self.config.peer_timeout_s * 3,
+                    )
+                    if data is not None or not self.host.up:
+                        break
+                if data is None:
+                    continue
+                for name, value, size, stamp in data["objects"]:
+                    yield self.disk.write(size, forced=True)
+                    self.store.put(StoredObject(name, value, size, stamp))
+                    recovered += 1
             # ``complete_rejoin`` is idempotent on the service side, so
             # retrying a lost ack is safe.
             for _ in range(3):

@@ -18,6 +18,8 @@ from ..net import (
     ControlPlane,
     Host,
     IPv4Address,
+    IPv4Network,
+    LeafSpineFabric,
     MacAddress,
     Network,
     OpenFlowSwitch,
@@ -56,10 +58,26 @@ class NiceCluster:
             self.sim.approx_exempt_ports = frozenset((NODE_PORT, META_PORT))
         self.rng = RngRegistry(cfg.seed)
         self.network = Network(self.sim)
-        self.switch = OpenFlowSwitch(
-            self.sim, "sw0", lookup_latency_s=cfg.switch_lookup_latency_s
-        )
-        self.network.register(self.switch)
+        if cfg.n_racks > 1:
+            #: Leaf–spine fabric (DESIGN.md §5h).  ``self.switch`` stays
+            #: meaningful as "rack 0's access switch" for legacy callers.
+            self.fabric = LeafSpineFabric(
+                self.sim,
+                self.network,
+                cfg.n_racks,
+                cfg.n_spines,
+                lookup_latency_s=cfg.switch_lookup_latency_s,
+                table_capacity=cfg.switch_rule_budget,
+                link_bandwidth_bps=cfg.link_bandwidth_bps,
+                link_latency_s=cfg.link_latency_s,
+            )
+            self.switch = self.fabric.leaves[0]
+        else:
+            self.fabric = None
+            self.switch = OpenFlowSwitch(
+                self.sim, "sw0", lookup_latency_s=cfg.switch_lookup_latency_s
+            )
+            self.network.register(self.switch)
         #: Client-side Open vSwitches (§5.1 "ovs" deployment; empty for "hw").
         self.edge_switches = []
 
@@ -67,11 +85,15 @@ class NiceCluster:
         self.mc_vring = VirtualRing(cfg.multicast_vring, cfg.n_partitions)
 
         node_names = [f"n{i}" for i in range(cfg.n_storage_nodes)]
+        per_rack = -(-cfg.n_storage_nodes // cfg.n_racks)
+        #: node name -> rack index (all rack 0 in the single-switch default).
+        self.rack_of = {name: i // per_rack for i, name in enumerate(node_names)}
         partition_map = PartitionMap.build(
             node_names,
             cfg.n_partitions,
             cfg.replication_level,
             ring_points_per_node=cfg.ring_points_per_node,
+            racks=self.rack_of if cfg.n_racks > 1 else None,
         )
 
         self.controller = NiceControllerApp(
@@ -80,34 +102,57 @@ class NiceCluster:
         self.control_plane = ControlPlane(
             self.sim, self.controller, latency_s=cfg.controller_latency_s
         )
-        self.control_plane.attach(self.switch)
-        # §5.1: the CloudLab hardware switch forwards and multicasts but
-        # cannot modify destination addresses — the edge OVSes do that.
-        self.controller.register_switch(
-            self.switch, role="core", can_rewrite=(cfg.deployment == "hw")
-        )
+        if self.fabric is not None:
+            for rack, leaf in enumerate(self.fabric.leaves):
+                self.control_plane.attach(leaf)
+                self.controller.register_switch(leaf, role="leaf", rack=rack)
+            for spine in self.fabric.spines:
+                self.control_plane.attach(spine)
+                self.controller.register_switch(
+                    spine, role="spine", can_rewrite=False
+                )
+            # Rack address blocks: the units of spine-side aggregation.
+            client_subnets = self._client_subnets()
+            for rack in range(cfg.n_racks):
+                self.controller.register_rack_prefix(
+                    rack, IPv4Network(f"10.0.{rack}.0/24")
+                )
+                self.controller.register_rack_prefix(rack, client_subnets[rack])
+        else:
+            self.control_plane.attach(self.switch)
+            # §5.1: the CloudLab hardware switch forwards and multicasts but
+            # cannot modify destination addresses — the edge OVSes do that.
+            self.controller.register_switch(
+                self.switch, role="core", can_rewrite=(cfg.deployment == "hw")
+            )
 
         # -- hosts ---------------------------------------------------------
         self.directory: Dict[str, IPv4Address] = {}
         mac = _MAC_BASE
         storage_hosts: List[Host] = []
+        rack_fill: Dict[int, int] = {}
         for i, name in enumerate(node_names):
-            host = Host(self.sim, name, STORAGE_BASE + i, MacAddress(mac))
+            if self.fabric is not None:
+                rack = self.rack_of[name]
+                slot = rack_fill.get(rack, 0)
+                rack_fill[rack] = slot + 1
+                ip = IPv4Address(f"10.0.{rack}.1") + slot
+            else:
+                ip = STORAGE_BASE + i
+            host = Host(self.sim, name, ip, MacAddress(mac))
             mac += 1
             self.network.register(host)
-            self.network.connect(
-                self.switch, host, cfg.link_bandwidth_bps, cfg.link_latency_s
-            )
+            self._attach(host, self.rack_of[name])
             self.controller.register_host(name, host.ip, host.mac)
             self.directory[name] = host.ip
             storage_hosts.append(host)
 
+        # The metadata service (and its standbys) lives in rack 0, inside
+        # rack 0's 10.0.0.0/24 block.
         meta_host = Host(self.sim, "meta", METADATA_IP, MacAddress(mac))
         mac += 1
         self.network.register(meta_host)
-        self.network.connect(
-            self.switch, meta_host, cfg.link_bandwidth_bps, cfg.link_latency_s
-        )
+        self._attach(meta_host, 0)
         self.controller.register_host("meta", meta_host.ip, meta_host.mac)
 
         standby_hosts: List[Host] = []
@@ -115,16 +160,21 @@ class NiceCluster:
             standby = Host(self.sim, f"meta{i}", METADATA_IP + i, MacAddress(mac))
             mac += 1
             self.network.register(standby)
-            self.network.connect(
-                self.switch, standby, cfg.link_bandwidth_bps, cfg.link_latency_s
-            )
+            self._attach(standby, 0)
             self.controller.register_host(f"meta{i}", standby.ip, standby.mac)
             standby_hosts.append(standby)
 
         client_hosts: List[Host] = []
         stride = max(1, cfg.client_space.num_addresses // max(cfg.n_clients, 1))
         for i in range(cfg.n_clients):
-            ip = cfg.client_space.address + (i * stride) % cfg.client_space.num_addresses
+            if self.fabric is not None:
+                # Round-robin clients over racks, packed into each rack's
+                # client subnet so client traffic aggregates per rack too.
+                client_rack = i % cfg.n_racks
+                ip = client_subnets[client_rack].address + 1 + (i // cfg.n_racks)
+            else:
+                client_rack = 0
+                ip = cfg.client_space.address + (i * stride) % cfg.client_space.num_addresses
             host = Host(self.sim, f"c{i}", ip, MacAddress(mac))
             mac += 1
             self.network.register(host)
@@ -147,9 +197,7 @@ class NiceCluster:
                 )
                 self.edge_switches.append(ovs)
             else:
-                self.network.connect(
-                    self.switch, host, cfg.link_bandwidth_bps, cfg.link_latency_s
-                )
+                self._attach(host, client_rack)
             client_hosts.append(host)
 
         # -- control plane bootstrap ----------------------------------------
@@ -208,6 +256,34 @@ class NiceCluster:
             NiceClient(self.sim, host, cfg, self.uni_vring, self.mc_vring)
             for host in client_hosts
         ]
+
+    # -- topology helpers ---------------------------------------------------------
+    def _attach(self, host: Host, rack: int):
+        """Wire a host to its access switch (the rack's leaf, or ``sw0``)."""
+        cfg = self.config
+        if self.fabric is not None:
+            return self.fabric.attach_host(
+                host, rack, cfg.link_bandwidth_bps, cfg.link_latency_s
+            )
+        return self.network.connect(
+            self.switch, host, cfg.link_bandwidth_bps, cfg.link_latency_s
+        )
+
+    def _client_subnets(self) -> List[IPv4Network]:
+        """The per-rack client blocks: the first ``n_racks`` subnets of the
+        client space after a power-of-two split."""
+        cfg = self.config
+        blocks = 1
+        while blocks < cfg.n_racks:
+            blocks *= 2
+        plen = cfg.client_space.prefixlen + (blocks.bit_length() - 1)
+        return list(cfg.client_space.subnets(plen))[: cfg.n_racks]
+
+    @property
+    def switches(self) -> list:
+        """Every data-plane switch: fabric (or sw0), then client edges."""
+        core = self.fabric.switches if self.fabric is not None else [self.switch]
+        return [*core, *self.edge_switches]
 
     # -- conveniences -------------------------------------------------------------
     @property

@@ -22,7 +22,7 @@ from .host import Host
 from .link import Channel, GBPS, Link, MBPS, Port
 from .packet import HEADER_BYTES, MTU_BYTES, Packet, Proto, wire_size
 from .switch import FLOOD, OpenFlowSwitch
-from .topology import Device, Network
+from .topology import Device, LeafSpineFabric, Network, ecmp_index
 
 __all__ = [
     "Action",
@@ -33,6 +33,8 @@ __all__ = [
     "ControlPlane",
     "ControllerApp",
     "Device",
+    "LeafSpineFabric",
+    "ecmp_index",
     "Drop",
     "FLOOD",
     "FlowTable",

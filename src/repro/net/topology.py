@@ -3,18 +3,36 @@
 The evaluation platform (§6) is a single OpenFlow rack switch with 30
 1 Gbps hosts; the deployed variant (§5.1) adds a client-side Open vSwitch
 per client because the hardware switch cannot rewrite headers.  Both are
-built here.
+built here, plus the leaf–spine fabric (DESIGN.md §5h) that scales the
+same vring machinery past one rack: each rack's hosts hang off a leaf
+switch, every leaf connects to every spine, and uplink choice is a
+deterministic hash over flow identifiers (ECMP without per-flow state).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..sim import Simulator
 from .link import GBPS, Link, Port
 from .packet import Packet
 
-__all__ = ["Device", "Network"]
+__all__ = ["Device", "Network", "LeafSpineFabric", "ecmp_index"]
+
+
+def ecmp_index(n: int, *keys) -> int:
+    """Deterministic ECMP choice: hash ``keys`` into ``[0, n)``.
+
+    Uses crc32 over the stringified keys rather than Python's ``hash`` so
+    the choice is identical across processes (``--jobs N`` workers) and
+    interpreter runs — PYTHONHASHSEED randomization must not leak into
+    path selection.
+    """
+    if n < 1:
+        raise ValueError(f"ecmp_index needs n >= 1, got {n}")
+    material = "|".join(str(k) for k in keys)
+    return zlib.crc32(material.encode()) % n
 
 
 class Device:
@@ -90,3 +108,81 @@ class Network:
             if link.a.device is device or link.b.device is device:
                 total += link.total_bytes
         return total
+
+
+class LeafSpineFabric:
+    """A two-tier Clos: one leaf switch per rack, fully meshed to spines.
+
+    The fabric owns only wiring and rack bookkeeping; rule planning lives
+    in the controller.  Leaves are named ``leaf0..leaf{R-1}``, spines
+    ``spine0..spine{S-1}``.  ``uplinks[(leaf, spine)]`` is the Link between
+    them — the thing a ``rack_isolate`` fault cuts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        n_racks: int,
+        n_spines: int,
+        lookup_latency_s: float = 5e-6,
+        table_capacity: int = 0,
+        link_bandwidth_bps: float = GBPS,
+        link_latency_s: float = 50e-6,
+    ):
+        # Deferred import: switch.py imports Device from this module.
+        from .switch import OpenFlowSwitch
+
+        def build(name: str) -> "OpenFlowSwitch":
+            kwargs = dict(lookup_latency_s=lookup_latency_s)
+            if table_capacity > 0:
+                kwargs["table_capacity"] = table_capacity
+            return network.register(OpenFlowSwitch(sim, name, **kwargs))
+
+        self.sim = sim
+        self.network = network
+        self.n_racks = n_racks
+        self.n_spines = n_spines
+        self.leaves = [build(f"leaf{r}") for r in range(n_racks)]
+        self.spines = [build(f"spine{s}") for s in range(n_spines)]
+        self.uplinks: Dict[Tuple[str, str], Link] = {}
+        self.uplink_ports: Dict[Tuple[str, str], int] = {}
+        for leaf in self.leaves:
+            for spine in self.spines:
+                link = network.connect(leaf, spine, link_bandwidth_bps, link_latency_s)
+                self.uplinks[(leaf.name, spine.name)] = link
+                leaf_port = link.a if link.a.device is leaf else link.b
+                spine_port = link.a if link.a.device is spine else link.b
+                self.uplink_ports[(leaf.name, spine.name)] = leaf_port.number
+                self.uplink_ports[(spine.name, leaf.name)] = spine_port.number
+        #: host name -> rack index, filled by attach_host.
+        self.rack_of_host: Dict[str, int] = {}
+
+    @property
+    def switches(self) -> list:
+        """Every fabric switch, leaves first (deterministic order)."""
+        return [*self.leaves, *self.spines]
+
+    def leaf_of(self, rack: int):
+        return self.leaves[rack]
+
+    def attach_host(
+        self,
+        host: Device,
+        rack: int,
+        bandwidth_bps: float = GBPS,
+        latency_s: float = 50e-6,
+    ) -> Link:
+        """Wire ``host`` below its rack's leaf and record its rack."""
+        link = self.network.connect(
+            self.leaves[rack], host, bandwidth_bps, latency_s
+        )
+        self.rack_of_host[host.name] = rack
+        return link
+
+    def uplinks_of(self, rack: int) -> List[Link]:
+        """Every uplink of rack ``rack``'s leaf — cutting all of them
+        isolates the rack from the rest of the fabric (its hosts can still
+        talk to each other through the leaf)."""
+        leaf = self.leaves[rack].name
+        return [self.uplinks[(leaf, spine.name)] for spine in self.spines]

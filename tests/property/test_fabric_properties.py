@@ -1,0 +1,99 @@
+"""Property-based tests over the leaf–spine fabric (DESIGN.md §5h).
+
+Random fabric shapes (racks x hosts-per-rack x replication) must always
+give rack-spanning placement, stay inside the per-switch rule budget, and
+— the aggregation property — forward every (ingress leaf, host) pair to
+the right host through the installed tables, where remote racks are
+covered by wildcard prefix routes instead of per-host entries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import build_nice
+from repro.net.packet import Packet, Proto
+from repro.net.switch import OpenFlowSwitch
+
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=4),   # racks
+    st.integers(min_value=2, max_value=4),   # hosts per rack
+    st.integers(min_value=1, max_value=3),   # spines
+    st.integers(min_value=2, max_value=3),   # replication level
+)
+
+BUDGET = 1024
+
+
+def build(racks, per_rack, spines, replication):
+    return build_nice(
+        n_storage_nodes=racks * per_rack,
+        n_clients=2,
+        n_racks=racks,
+        n_spines=spines,
+        replication_level=min(replication, racks * per_rack),
+        switch_rule_budget=BUDGET,
+    )
+
+
+def walk(cluster, ingress_leaf, dst_ip):
+    """Follow installed flow tables from ``ingress_leaf`` toward ``dst_ip``;
+    returns the device the packet lands on (or None) and the switch path."""
+    from repro.net.host import Host
+
+    packet = Packet(src_ip=dst_ip, dst_ip=dst_ip, proto=Proto.UDP, dport=7100)
+    device, path = ingress_leaf, []
+    for _ in range(4):  # > fabric diameter: leaf -> spine -> leaf -> host
+        path.append(device.name)
+        rule = device.table.lookup(packet)
+        if rule is None:
+            return None, path
+        out_port = None
+        for action in rule.actions:
+            if type(action).__name__ == "Output":
+                out_port = action.port
+        if out_port is None or out_port not in device.ports:
+            return None, path
+        peer = device.ports[out_port].peer
+        if peer is None:
+            return None, path
+        device = peer.device
+        if isinstance(device, Host):
+            return device, path
+        if not isinstance(device, OpenFlowSwitch):
+            return device, path
+    return None, path
+
+
+@given(shape=shapes)
+@settings(max_examples=6, deadline=None)
+def test_fabric_shape_invariants(shape):
+    racks, per_rack, spines, replication = shape
+    cluster = build(racks, per_rack, spines, replication)
+
+    # 1. Rack-aware placement: every replica set spans >= 2 failure domains.
+    for rs in cluster.metadata.partition_map:
+        covered = {cluster.rack_of[m] for m in rs.members}
+        assert len(covered) >= 2, (
+            f"{racks}x{per_rack} r={replication}: p{rs.partition} "
+            f"{rs.members} confined to rack {covered}"
+        )
+
+    # 2. Per-switch rule counts never exceed the configured budget.
+    counts = cluster.controller.rule_counts_by_switch()
+    for switch in cluster.switches:
+        installed = sum(1 for _ in switch.table.iter_rules())
+        assert installed <= BUDGET, (
+            f"{switch.name}: {installed} rules > budget {BUDGET}"
+        )
+        if switch.name in counts:
+            assert counts[switch.name] <= BUDGET
+
+    # 3. Aggregated routes forward identically to per-host routes: from any
+    #    ingress leaf, the installed tables (rack wildcards included) must
+    #    land every storage host's physical IP on that host.
+    for leaf in cluster.fabric.leaves:
+        for name, node in cluster.nodes.items():
+            target, path = walk(cluster, leaf, node.host.ip)
+            assert target is node.host, (
+                f"from {leaf.name} to {name} ({node.host.ip}): "
+                f"reached {getattr(target, 'name', None)} via {path}"
+            )

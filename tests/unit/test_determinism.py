@@ -200,3 +200,86 @@ def test_random_schedule_is_deterministic():
     b = FaultSchedule.random(99, "k0")
     assert a.events == b.events
     assert FaultSchedule.random(100, "k0").events != a.events
+
+
+# -- leaf-spine fabric (DESIGN.md §5h) ----------------------------------------------
+
+
+_SCALE_KW = dict(
+    n_ops=4,
+    configs=[dict(racks=2, hosts_per_rack=3, n_clients=2, budget=512)],
+    chaos_duration=4.0,
+)
+
+
+def test_scale_cells_identical_across_jobs_and_warm_cache(tmp_path):
+    """Multi-switch cells honor the same contract as the figure suite:
+    --jobs 1, --jobs 2 and a warm-cache rerun are bit-identical."""
+    from repro.bench import figures, parallel
+
+    parallel.drain_records()
+    seq = figures.scale_fabric(**_SCALE_KW)
+    parallel.drain_records()
+    prior = parallel.configure(jobs=2, cache_dir=str(tmp_path / "bc"))
+    try:
+        par = figures.scale_fabric(**_SCALE_KW)
+        parallel.drain_records()
+        warm = figures.scale_fabric(**_SCALE_KW)
+        rec_warm = parallel.drain_records()
+    finally:
+        parallel.configure(**prior)
+    assert par.rows == seq.rows
+    assert warm.rows == seq.rows
+    assert rec_warm and all(r["cache_hit"] for r in rec_warm)
+
+
+def test_fabric_leg_repeatable():
+    """Same seed, same fabric shape => bit-identical rows and clock."""
+
+    def leg():
+        cluster = build_nice(n_storage_nodes=6, n_clients=1, n_racks=2)
+        client = cluster.clients[0]
+
+        def driver(sim):
+            tally = yield closed_loop_puts(client, sim, 6, 1024, keys=["fab0", "fab1"])
+            return (tally.count, tally.mean, tally.stdev)
+
+        stats = run_to_completion(cluster, cluster.sim.process(driver(cluster.sim)))
+        return stats, cluster.sim.now
+
+    assert leg() == leg()
+
+
+def test_single_switch_default_untouched_by_fabric_knobs():
+    """The pre-fabric seed path: explicit fabric defaults (n_racks=1 etc.)
+    must build the identical single-switch cluster and produce bit-identical
+    results — the 81-cell baseline depends on it."""
+    rows_default, now_default, _ = _fig5_leg(n_ops=4, sizes=(1024,))
+
+    explicit = build_nice(
+        n_storage_nodes=15, n_clients=1,
+        n_racks=1, n_spines=2, switch_rule_budget=0, ecmp_seed=0,
+    )
+    assert explicit.fabric is None
+    assert explicit.switch.name == "sw0"
+    client = explicit.clients[0]
+    rows = []
+
+    def driver(sim):
+        for size in (1024,):
+            key = f"repl-{size}"
+            seed = yield client.put(key, "x", size)
+            assert seed.ok
+            tally = yield closed_loop_puts(client, sim, 4, size, keys=[key])
+            rows.append(
+                {
+                    "size_bytes": size,
+                    "put_ms": tally.mean * 1e3,
+                    "stdev_ms": tally.stdev * 1e3,
+                    "count": tally.count,
+                }
+            )
+
+    run_to_completion(explicit, explicit.sim.process(driver(explicit.sim)))
+    assert rows == rows_default
+    assert explicit.sim.now == now_default
