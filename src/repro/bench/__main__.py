@@ -54,7 +54,7 @@ def _chart_for(name: str, result):
     return None
 
 #: experiment id -> (runner(n_ops), summary spec or None)
-def _registry(n_ops: int, full: bool):
+def _registry(n_ops: int, full: bool, smoke: bool = False):
     ycsb_ops = 20000 if full else max(n_ops, 50)
     # Figs 5/6/7 share one sweep; memoize it so `bench all` (or any subset
     # of fig5/fig6/fig7) runs the expensive replication sweep exactly once
@@ -101,7 +101,13 @@ def _registry(n_ops: int, full: bool):
             ("mean_op_ms", "NICE", ["workload"]),
         ),
         "sec46": (lambda: figures.sec46_switch_scalability(), None),
-        "scale": (lambda: figures.scale_fabric(n_ops=max(n_ops // 5, 10)), None),
+        "scale": (
+            lambda: figures.scale_fabric(
+                n_ops=max(n_ops // 5, 10),
+                configs=figures.SCALE_SMOKE_CONFIGS if smoke else None,
+            ),
+            None,
+        ),
         "ablation-chain": (lambda: ablations.ablation_chain_replication(), None),
         "ablation-lb": (lambda: ablations.ablation_lb_rules(), None),
         "ablation-membership": (
@@ -134,7 +140,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="perf/chaos suites: shrunk matrices for CI sanity runs",
+        help="perf/chaos/scale suites: shrunk matrices for CI sanity runs",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -173,9 +179,10 @@ def main(argv=None) -> int:
         help="simulation fidelity for every cluster built during the run "
              "(DESIGN.md §5g).  'approx' aggregates steady-state data-plane "
              "flows analytically for a large speedup at ±few-%% accuracy; "
-             "protocol traffic stays discrete.  Forces --jobs 1 and "
-             "--no-cache (the cell cache is keyed on params + source, not "
-             "sim mode).  Default: exact",
+             "protocol traffic stays discrete.  Composes with --jobs N and "
+             "the cell cache: the mode is part of each cell's identity and "
+             "cache key, so exact and approx results never mix.  "
+             "Default: exact",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -198,17 +205,13 @@ def main(argv=None) -> int:
         cache_dir = None
         obs_runtime.start(args.trace)
     prior_sim_mode = None
-    if args.sim_mode == "approx":
-        if args.jobs is not None and args.jobs != 1:
-            print(f"--sim-mode approx: overriding --jobs {args.jobs} -> 1",
-                  file=sys.stderr)
-        jobs = 1
-        cache_dir = None
     if args.sim_mode is not None:
         from ..core import set_default_sim_mode
 
         prior_sim_mode = set_default_sim_mode(args.sim_mode)
-    prior_config = parallel.configure(jobs=jobs, cache_dir=cache_dir)
+    prior_config = parallel.configure(
+        jobs=jobs, cache_dir=cache_dir, sim_mode=args.sim_mode or "exact"
+    )
     try:
         return _run(parser, args, n_ops, jobs)
     finally:
@@ -227,7 +230,7 @@ def main(argv=None) -> int:
 
 
 def _run(parser, args, n_ops: int, jobs: int) -> int:
-    registry = _registry(n_ops, args.full)
+    registry = _registry(n_ops, args.full, smoke=args.smoke)
 
     wanted = args.experiment
     if "perf" in wanted:

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import ClusterConfig, NiceCluster
+from ..core import ClusterConfig, NiceCluster, get_default_sim_mode
 from ..net import MBPS, wire_size
 from ..sim import AllOf, Tally
 from ..workloads import (
@@ -655,11 +655,23 @@ def sec46_switch_scalability(
 
 #: The racks x hosts ladder the scale figure sweeps.  ``budget`` is the
 #: per-switch rule budget handed to every fabric switch (0 = unlimited,
-#: used for the single-switch baseline cell).
+#: used for the single-switch baseline cell).  The paper-scale rungs
+#: (≥300 nodes) run in flow-approximation mode — an exact discrete run at
+#: 1000 nodes is hours of wall time for the same rule census; ``sim_mode``
+#: is carried on the :class:`Cell` (and its cache key), never as a cell-fn
+#: parameter.
 SCALE_CONFIGS: Tuple[Dict, ...] = (
     dict(racks=1, hosts_per_rack=30, n_clients=8, budget=0),
     dict(racks=4, hosts_per_rack=16, n_clients=8, budget=1024),
     dict(racks=10, hosts_per_rack=30, n_clients=10, budget=4096),
+    dict(racks=15, hosts_per_rack=20, n_clients=10, budget=4096, sim_mode="approx"),
+    dict(racks=20, hosts_per_rack=50, n_clients=12, budget=8192, sim_mode="approx"),
+)
+
+#: CI's shrunk ladder: one fabric rung, approx mode, small enough that a
+#: cold ``--smoke`` run finishes in seconds and a warm one in milliseconds.
+SCALE_SMOKE_CONFIGS: Tuple[Dict, ...] = (
+    dict(racks=4, hosts_per_rack=16, n_clients=8, budget=1024, sim_mode="approx"),
 )
 
 
@@ -714,6 +726,12 @@ def scale_cell(
         vring_rules=cluster.controller.rule_count(),
         rule_budget=budget,
         budget_ok=bool(budget <= 0 or max(counts.values()) <= budget),
+        sim_mode=get_default_sim_mode(),
+        # Incremental-planner counters (deterministic, unlike plan.sync_ms
+        # which stays in the perf suite / obs registry): how many
+        # (switch, partition) plans were computed vs served from cache.
+        plan_recomputes=cluster.controller.plan_recomputes.value,
+        plan_cache_hits=cluster.controller.plan_cache_hits.value,
     )
     return {"rows": [row]}
 
@@ -780,12 +798,16 @@ def scale_chaos_cell(
 
 def scale_fabric(
     n_ops: int = 20,
-    configs: Sequence[Dict] = SCALE_CONFIGS,
+    configs: Optional[Sequence[Dict]] = None,
     chaos_duration: float = 8.0,
     seed: int = BASE_SEED,
 ) -> ExperimentResult:
     """Throughput and installed-rule count vs cluster size on the
-    leaf-spine fabric, plus one rack-outage chaos cell on the 4-rack rung."""
+    leaf-spine fabric, plus one rack-outage chaos cell on the first
+    multi-rack *exact* rung.  A config's ``sim_mode`` entry (the ≥300-node
+    rungs run approx) becomes the cell's mode, not a cell-fn parameter."""
+    if configs is None:
+        configs = SCALE_CONFIGS
     result = ExperimentResult(
         "scale",
         "Leaf-spine fabric - throughput and rule census vs cluster size",
@@ -793,19 +815,39 @@ def scale_fabric(
             "racks", "hosts_per_rack", "nodes", "switches",
             "throughput_ops_s", "total_rules", "max_switch_rules",
             "vring_rules", "rule_budget", "budget_ok",
+            "sim_mode", "plan_recomputes", "plan_cache_hits",
         ],
     )
-    cells = [
-        Cell(scale_cell, dict(n_ops=n_ops, **cfg), seed=derive_seed(seed, "scale", cfg["racks"]))
-        for cfg in configs
-    ]
-    chaos_cfg = next((c for c in configs if c["racks"] > 1), None)
+    cells = []
+    for cfg in configs:
+        cfg = dict(cfg)
+        mode = cfg.pop("sim_mode", None)
+        cells.append(
+            Cell(
+                scale_cell,
+                dict(n_ops=n_ops, **cfg),
+                seed=derive_seed(seed, "scale", cfg["racks"]),
+                sim_mode=mode,
+            )
+        )
+    chaos_cfg = next(
+        (c for c in configs if c["racks"] > 1 and c.get("sim_mode") in (None, "exact")),
+        None,
+    )
+    if chaos_cfg is None:
+        # Smoke ladders may be approx-only: the chaos cell's
+        # reconcile-vs-scratch table diff is mode-independent, so run it on
+        # the first fabric rung in whatever mode that rung uses.
+        chaos_cfg = next((c for c in configs if c["racks"] > 1), None)
     if chaos_cfg is not None:
+        chaos_cfg = dict(chaos_cfg)
+        chaos_mode = chaos_cfg.pop("sim_mode", None)
         cells.append(
             Cell(
                 scale_chaos_cell,
                 dict(duration=chaos_duration, **chaos_cfg),
                 seed=derive_seed(seed, "scale-chaos", chaos_cfg["racks"]),
+                sim_mode=chaos_mode,
             )
         )
     for payload in run_cells(cells):

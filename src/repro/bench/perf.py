@@ -1,6 +1,6 @@
 """Perf-regression microbenchmark suite.
 
-The benches cover the layers of the simulator fast path (schema v4):
+The benches cover the layers of the simulator fast path (schema v5):
 
 * ``kernel_churn`` — raw event-loop throughput: processes spinning on
   timeouts, ``AnyOf``/``AllOf`` joins, and deferred calls (the allocation
@@ -16,6 +16,11 @@ The benches cover the layers of the simulator fast path (schema v4):
   cluster, cache on vs off, asserting the results are bit-identical.
 * ``approx_vs_exact`` — the same leg under ``sim_mode="approx"`` vs
   ``"exact"``: event reduction, wall speedup, and result drift.
+* ``plan_scale`` — the incremental rule planner (schema v5) on the scale
+  ladder's fabric rungs: cold ``sync_all`` wall time, warm ``reconcile``
+  wall time (must recompute **zero** plans — every partition served from
+  the plan cache), and single-partition incremental resync, asserting the
+  cache contracts and recording plans/s per rung.
 * ``trace_overhead`` — the same leg with a live tracer vs the null
   tracer, asserting tracing changes wall-clock only, never results
   (the obs-layer determinism contract, DESIGN.md §5e), and that the
@@ -48,7 +53,7 @@ from .parallel import provenance
 
 __all__ = ["run_suite", "format_report", "DEFAULT_OUT"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_OUT = "BENCH_perf.json"
 
 #: Ceiling on the live-tracer wall-clock multiplier (satellite of the §5g
@@ -366,6 +371,87 @@ def bench_trace_overhead(n_ops: int = 400, size: int = 1 << 12) -> dict:
     }
 
 
+# ------------------------------------------------------------ plan_scale
+#: The fabric rungs plan_scale climbs (racks, hosts_per_rack, rule budget).
+#: Clusters build in approx mode — the planner under test is
+#: mode-independent and the data plane never runs here.
+PLAN_SCALE_RUNGS = ((4, 16, 1024), (10, 30, 4096), (20, 50, 8192))
+PLAN_SCALE_SMOKE_RUNGS = ((4, 16, 1024),)
+
+
+def _plan_scale_rung(racks: int, hosts_per_rack: int, budget: int) -> dict:
+    t0 = time.perf_counter()
+    cluster = build_nice(
+        n_storage_nodes=racks * hosts_per_rack,
+        n_clients=2,
+        n_racks=racks,
+        switch_rule_budget=budget,
+        sim_mode="approx",
+    )
+    build_s = time.perf_counter() - t0
+    sim, ctrl = cluster.sim, cluster.controller
+    sim.run(until=sim.now + 0.05)  # let the build-time flow-mods land
+
+    # Cold: every (switch, partition) plan recomputed from scratch.
+    ctrl.invalidate_plans()
+    ctrl.plan_recomputes.reset()
+    ctrl.plan_cache_hits.reset()
+    ctrl.plan_wall_s = 0.0
+    t0 = time.perf_counter()
+    ctrl.sync_all()
+    cold_sync_s = time.perf_counter() - t0
+    sim.run(until=sim.now + 0.05)
+    cold_recomputes = ctrl.plan_recomputes.value
+
+    # Warm: reconcile must serve every plan from the cache.
+    ctrl.plan_recomputes.reset()
+    ctrl.plan_cache_hits.reset()
+    t0 = time.perf_counter()
+    stats = ctrl.reconcile()
+    warm_reconcile_s = time.perf_counter() - t0
+    sim.run(until=sim.now + 0.05)
+    warm_recomputes = ctrl.plan_recomputes.value
+    warm_hits = ctrl.plan_cache_hits.value
+
+    # Incremental: dirty one partition, resync just it.
+    t0 = time.perf_counter()
+    ctrl.sync_partition(0)
+    incremental_sync_s = time.perf_counter() - t0
+    sim.run(until=sim.now + 0.05)
+
+    return {
+        "racks": racks,
+        "hosts_per_rack": hosts_per_rack,
+        "nodes": racks * hosts_per_rack,
+        "partitions": len(ctrl.partition_map),
+        "switches": len(ctrl.channel.switches),
+        "rule_budget": budget,
+        "build_s": build_s,
+        "cold_sync_s": cold_sync_s,
+        "cold_recomputes": cold_recomputes,
+        "plans_per_s": cold_recomputes / cold_sync_s if cold_sync_s > 0 else None,
+        "warm_reconcile_s": warm_reconcile_s,
+        "warm_recomputes": warm_recomputes,
+        "warm_cache_hits": warm_hits,
+        "warm_reconcile_noop": bool(
+            stats["installed"] == 0 and stats["deleted"] == 0
+        ),
+        "incremental_sync_s": incremental_sync_s,
+        "incremental_speedup": (
+            cold_sync_s / incremental_sync_s if incremental_sync_s > 0 else None
+        ),
+    }
+
+
+def bench_plan_scale(rungs=PLAN_SCALE_RUNGS) -> dict:
+    """Controller planning cost per scale-ladder rung (cold / warm / incremental)."""
+    out = {"rungs": [_plan_scale_rung(*rung) for rung in rungs]}
+    out["all_warm_cached"] = all(
+        r["warm_recomputes"] == 0 and r["warm_cache_hits"] > 0 for r in out["rungs"]
+    )
+    return out
+
+
 # ----------------------------------------------------------------- driver
 def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dict:
     """Run every bench; write ``out_path`` (unless None); return the report."""
@@ -381,6 +467,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         fig5 = bench_fig5_put_leg(n_ops=40)
         approx = bench_approx_vs_exact(n_ops=40)
         trace = bench_trace_overhead(n_ops=40)
+        plan = bench_plan_scale(rungs=PLAN_SCALE_SMOKE_RUNGS)
     else:
         kernel = bench_kernel_churn()
         steady = bench_kernel_steady()
@@ -389,6 +476,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         fig5 = bench_fig5_put_leg()
         approx = bench_approx_vs_exact()
         trace = bench_trace_overhead()
+        plan = bench_plan_scale()
     # Hard determinism/overhead contracts (DESIGN.md §5e/§5g): fail the
     # suite loudly rather than publish a report that quietly violates them.
     assert fig5["results_identical"], "flow-cache on/off changed results"
@@ -400,6 +488,13 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
     assert approx["within_tolerance"], (
         f"approx drifted beyond ±5%: put_ms {approx['put_ms_rel_err']:.3f}, "
         f"sim_time {approx['sim_time_rel_err']:.3f}"
+    )
+    assert plan["all_warm_cached"], (
+        "incremental planner recomputed plans on a warm reconcile: "
+        + str([(r["racks"], r["warm_recomputes"]) for r in plan["rungs"]])
+    )
+    assert all(r["warm_reconcile_noop"] for r in plan["rungs"]), (
+        "warm reconcile was not a table no-op"
     )
     # The perf suite deliberately bypasses the cell cache: its payload is
     # host wall-clock, which a cached result would misreport.
@@ -418,6 +513,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
             "fig5_put_leg": fig5,
             "approx_vs_exact": approx,
             "trace_overhead": trace,
+            "plan_scale": plan,
         },
     }
     if out_path:
@@ -466,6 +562,16 @@ def format_report(report: dict) -> str:
             f" {a['wall_speedup']:.2f}x wall,"
             f" drift put_ms {a['put_ms_rel_err']:.2%} /"
             f" sim_time {a['sim_time_rel_err']:.2%}"
+        )
+    p = b.get("plan_scale")
+    if p is not None:
+        per_rung = ", ".join(
+            f"{r['racks']}x{r['hosts_per_rack']}: {r['plans_per_s']:,.0f} plans/s"
+            f" cold, warm {r['warm_reconcile_s']*1e3:,.0f}ms"
+            for r in p["rungs"]
+        )
+        lines.append(
+            f"  plan_scale     : {per_rung}, warm-cached={p['all_warm_cached']}"
         )
     t = b.get("trace_overhead")
     if t is not None:

@@ -14,6 +14,7 @@ from .config import (
     NODE_PORT,
     PUT_PORT,
     REQUEST_BYTES,
+    get_default_sim_mode,
     set_default_sim_mode,
 )
 from .controller import HostRecord, NiceControllerApp
@@ -54,6 +55,7 @@ __all__ = [
     "REQUEST_BYTES",
     "ReplicaSet",
     "replay_log",
+    "get_default_sim_mode",
     "set_default_sim_mode",
     "VirtualRing",
 ]

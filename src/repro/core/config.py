@@ -15,6 +15,7 @@ from ..net import GBPS, IPv4Network
 __all__ = [
     "ClusterConfig",
     "set_default_sim_mode",
+    "get_default_sim_mode",
     "GET_PORT",
     "PUT_PORT",
     "NODE_PORT",
@@ -57,8 +58,9 @@ def set_default_sim_mode(mode: str) -> str:
 
     This is how ``python -m repro.bench --sim-mode approx`` switches every
     cluster a sweep builds without threading a parameter through each cell
-    function (which would also alias the content-addressed cell cache —
-    the CLI therefore forces ``--jobs 1 --no-cache`` alongside).  Returns
+    function.  The bench layer records the active mode on each
+    :class:`repro.bench.parallel.Cell` and folds it into the cell cache
+    key, so parallel runs and the warm cache stay mode-correct.  Returns
     the previous default so callers can restore it.
     """
     global _DEFAULT_SIM_MODE
@@ -67,6 +69,11 @@ def set_default_sim_mode(mode: str) -> str:
     prior = _DEFAULT_SIM_MODE
     _DEFAULT_SIM_MODE = mode
     return prior
+
+
+def get_default_sim_mode() -> str:
+    """The mode :class:`ClusterConfig` will default to right now."""
+    return _DEFAULT_SIM_MODE
 
 
 @dataclass

@@ -25,8 +25,10 @@ scalability benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ..sim import Counter
 from ..net import (
     ArpTable,
     Bucket,
@@ -116,6 +118,36 @@ class NiceControllerApp(ControllerApp):
     ):
         super().__init__()
         self.config = config
+        # -- incremental rule planner (DESIGN.md §5i) ----------------------
+        #: switch name -> {partition -> (version key, (pre, group, post))}.
+        self._plan_cache: Dict[str, Dict[int, Tuple[tuple, tuple]]] = {}
+        #: Per-partition dirty counter, bumped by every sync_partition call
+        #: (the metadata service calls it on each membership change).
+        self._part_version: Dict[int, int] = {}
+        #: Bumped on any topology-shaped change (switch/host/prefix
+        #: registration, fabric discovery): invalidates every cached plan
+        #: and the derived indexes below.
+        self._topo_version = 0
+        #: (switch name, partition) pairs a sync has ever installed vring
+        #: rules for — lets sync_partition skip the delete round-trip on
+        #: pairs that never held rules (the build-time common case).
+        self._synced: set = set()
+        self.plan_recomputes = Counter("plan.recomputed")
+        self.plan_cache_hits = Counter("plan.cache_hits")
+        #: Wall-clock seconds spent inside sync_all/sync_partition/reconcile
+        #: (outermost call only — nested calls don't double-count).
+        self.plan_wall_s = 0.0
+        self._timer_depth = 0
+        # Memoized pure derivations (cleared on the relevant version bump).
+        self._division_memo: Dict[int, List[IPv4Network]] = {}
+        self._spine_memo: Dict[Tuple[str, int], str] = {}
+        self._mc_spine_memo: Dict[int, str] = {}
+        self._static_memo: Dict[str, Tuple[tuple, List[Rule]]] = {}
+        self._l3_index_memo: Optional[Tuple[tuple, Dict[str, List[HostRecord]]]] = None
+        self._uni_prefix_memo: Dict[int, IPv4Network] = {}
+        self._mc_prefix_memo: Dict[int, IPv4Network] = {}
+        self._mc_addr_memo: Dict[int, IPv4Address] = {}
+
         self.partition_map = partition_map
         self.uni = unicast_vring
         self.mc = multicast_vring
@@ -136,6 +168,70 @@ class NiceControllerApp(ControllerApp):
         self._rack_prefixes: Dict[int, List[IPv4Network]] = {}
         self._leaf_of_rack: Dict[int, str] = {}
         self._spine_names: List[str] = []
+
+    # -- incremental planner plumbing (DESIGN.md §5i) ---------------------------
+    @property
+    def partition_map(self) -> PartitionMap:
+        return self._partition_map
+
+    @partition_map.setter
+    def partition_map(self, value: PartitionMap) -> None:
+        # A takeover (control-plane HA) rebinds the whole map: every cached
+        # plan may describe the old leader's view, so drop them all.
+        prior = getattr(self, "_partition_map", None)
+        self._partition_map = value
+        if prior is not None and prior is not value:
+            self.invalidate_plans()
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached plan and derived index; the next
+        ``desired_state``/``sync_partition`` recomputes from scratch."""
+        self._plan_cache.clear()
+        self._static_memo.clear()
+        self._l3_index_memo = None
+        self._topo_version += 1
+
+    def _bump_topology(self) -> None:
+        self._topo_version += 1
+        self._spine_memo.clear()
+        self._mc_spine_memo.clear()
+        self._static_memo.clear()
+        self._l3_index_memo = None
+
+    def _plan_key(self, rs: ReplicaSet) -> tuple:
+        """Version vector a cached plan is valid for: partition dirty
+        counter, replica-set revision, map generation (log replay), fabric
+        topology, and ARP state (host locations feed rewrites/buckets)."""
+        return (
+            self._part_version.get(rs.partition, 0),
+            getattr(rs, "rev", 0),
+            getattr(self._partition_map, "generation", 0),
+            self._topo_version,
+            self.arp.generation,
+        )
+
+    def _plan_partition(
+        self, rs: ReplicaSet, switch, info: SwitchInfo, force: bool = False
+    ) -> Tuple[List[Rule], Optional[Group], List[Rule]]:
+        key = self._plan_key(rs)
+        cache = self._plan_cache.setdefault(switch.name, {})
+        entry = cache.get(rs.partition)
+        if not force and entry is not None and entry[0] == key:
+            self.plan_cache_hits.add()
+            return entry[1]
+        plan = self._partition_state(rs, switch, info)
+        cache[rs.partition] = (key, plan)
+        self.plan_recomputes.add()
+        return plan
+
+    def _timer_start(self) -> float:
+        self._timer_depth += 1
+        return perf_counter() if self._timer_depth == 1 else 0.0
+
+    def _timer_stop(self, t0: float) -> None:
+        self._timer_depth -= 1
+        if self._timer_depth == 0:
+            self.plan_wall_s += perf_counter() - t0
 
     # -- deployment roles -------------------------------------------------------
     def register_switch(
@@ -159,11 +255,13 @@ class NiceControllerApp(ControllerApp):
             self._leaf_of_rack[rack] = switch.name
         elif role == "spine":
             self._spine_names.append(switch.name)
+        self._bump_topology()
 
     def register_rack_prefix(self, rack: int, prefix: IPv4Network) -> None:
         """Declare that ``prefix`` lives in ``rack`` — the unit of spine
         (and remote-leaf) route aggregation."""
         self._rack_prefixes.setdefault(rack, []).append(IPv4Network(prefix))
+        self._bump_topology()
 
     @property
     def _fabric_mode(self) -> bool:
@@ -190,8 +288,13 @@ class NiceControllerApp(ControllerApp):
         leaf's aggregated rack route uses, so per-host rewrites and the
         aggregate prefix rule always pick the same path.
         """
+        memo = self._spine_memo.get((leaf_name, dst_rack))
+        if memo is not None:
+            return memo
         spines = self._spine_names
-        return spines[ecmp_index(len(spines), leaf_name, dst_rack, self.config.ecmp_seed)]
+        choice = spines[ecmp_index(len(spines), leaf_name, dst_rack, self.config.ecmp_seed)]
+        self._spine_memo[(leaf_name, dst_rack)] = choice
+        return choice
 
     def _mc_spine(self, partition: int) -> str:
         """The one spine carrying partition ``partition``'s multicast tree.
@@ -200,17 +303,44 @@ class NiceControllerApp(ControllerApp):
         a tree: every leaf ascends to the same spine, which fans out to
         every leaf holding a put target — no duplicate or looping copies.
         """
+        memo = self._mc_spine_memo.get(partition)
+        if memo is not None:
+            return memo
         spines = self._spine_names
-        return spines[ecmp_index(len(spines), "mc", partition, self.config.ecmp_seed)]
+        choice = spines[ecmp_index(len(spines), "mc", partition, self.config.ecmp_seed)]
+        self._mc_spine_memo[partition] = choice
+        return choice
 
     def _info(self, switch) -> SwitchInfo:
         return self._switch_info.get(switch.name, _DEFAULT_SWITCH_INFO)
+
+    # Static per-partition derivations (IPv4Network construction is the
+    # single hottest allocation in a full sync at 1000 nodes — memoized,
+    # the vrings never change after construction).
+    def _uni_prefix(self, partition: int) -> IPv4Network:
+        memo = self._uni_prefix_memo.get(partition)
+        if memo is None:
+            memo = self._uni_prefix_memo[partition] = self.uni.subgroup_prefix(partition)
+        return memo
+
+    def _mc_prefix(self, partition: int) -> IPv4Network:
+        memo = self._mc_prefix_memo.get(partition)
+        if memo is None:
+            memo = self._mc_prefix_memo[partition] = self.mc.subgroup_prefix(partition)
+        return memo
+
+    def _mc_addr(self, partition: int) -> IPv4Address:
+        memo = self._mc_addr_memo.get(partition)
+        if memo is None:
+            memo = self._mc_addr_memo[partition] = mc_group_address(partition)
+        return memo
 
     # -- directory -------------------------------------------------------------
     def register_host(self, name: str, ip: IPv4Address, mac: MacAddress) -> HostRecord:
         rec = HostRecord(name, IPv4Address(ip), MacAddress(mac))
         self.hosts[name] = rec
         self._host_by_ip[rec.ip] = rec
+        self._bump_topology()
         return rec
 
     def learn_location(self, ip: IPv4Address, switch, port_no: int) -> None:
@@ -233,6 +363,7 @@ class NiceControllerApp(ControllerApp):
                     self.learn_location(peer.device.ip, switch, port_no)
                 elif isinstance(peer.device, OpenFlowSwitch):
                     self._fabric_ports[(switch.name, peer.device.name)] = port_no
+        self._bump_topology()
 
     def _edge_of_host(self, ip: IPv4Address) -> Optional[str]:
         """Name of the edge switch ``ip`` sits behind, if any."""
@@ -254,7 +385,20 @@ class NiceControllerApp(ControllerApp):
         deliver the attached client's traffic to it, default everything
         else up the uplink.  Fabric switches additionally carry the
         per-rack aggregated prefix routes (one wildcard per rack prefix
-        instead of one /32 per host — the §4.6 budget saver)."""
+        instead of one /32 per host — the §4.6 budget saver).
+
+        Memoized per switch on (topology, ARP) versions — reconcile calls
+        this once per switch per pass, and the aggregate expansion is
+        O(racks × prefixes)."""
+        key = (self._topo_version, self.arp.generation)
+        memo = self._static_memo.get(switch.name)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        rules = self._compute_static_rules(switch, info)
+        self._static_memo[switch.name] = (key, rules)
+        return rules
+
+    def _compute_static_rules(self, switch, info: SwitchInfo) -> List[Rule]:
         rules = [Rule(Match(proto=Proto.ARP), [ToController()], PRIO_ARP, cookie="arp")]
         if info.role in ("leaf", "spine"):
             rules.extend(self._aggregate_rules(switch, info))
@@ -307,15 +451,22 @@ class NiceControllerApp(ControllerApp):
 
     def install_static_rules(self) -> None:
         for switch in self.channel.switches:
-            for rule in self._static_rules(switch, self._info(switch)):
-                self.channel.flow_mod(switch, rule)
+            ops = [
+                ("rule", rule)
+                for rule in self._static_rules(switch, self._info(switch))
+            ]
+            self.channel.apply_batch(switch, ops)
 
     def sync_all(self, epoch: Optional[int] = None) -> None:
         """Install L3 + vring + LB + group rules for the whole system."""
-        for rec in self.hosts.values():
-            self._install_l3(rec, epoch=epoch)
-        for rs in self.partition_map:
-            self.sync_partition(rs.partition, epoch=epoch)
+        t0 = self._timer_start()
+        try:
+            for rec in self.hosts.values():
+                self._install_l3(rec, epoch=epoch)
+            for rs in self.partition_map:
+                self.sync_partition(rs.partition, epoch=epoch)
+        finally:
+            self._timer_stop(t0)
 
     # -- per-partition rule synthesis --------------------------------------------------
     def sync_partition(self, partition: int, epoch: Optional[int] = None) -> None:
@@ -323,18 +474,38 @@ class NiceControllerApp(ControllerApp):
 
         Called by the metadata service on any membership change affecting
         the partition — failure hiding, handoff insertion, rejoin phases.
+        Always replans (the caller is telling us the partition is dirty)
+        and refreshes the plan cache, so the following ``desired_state`` /
+        ``reconcile`` reuse the result instead of recomputing.
+
+        Each switch's operations ride one batched control message
+        (:meth:`ControlPlane.apply_batch`): identical operations in
+        identical order, one scheduled delivery per switch.  The delete
+        round-trip is skipped for (switch, partition) pairs that have
+        never held vring rules — at build time that is most of them.
         """
-        rs = self.partition_map.get(partition)
-        for switch in self.channel.switches:
-            self.channel.flow_delete(switch, f"uni:{partition}", epoch=epoch)
-            self.channel.flow_delete(switch, f"mc:{partition}", epoch=epoch)
-            pre, group, post = self._partition_state(rs, switch, self._info(switch))
-            for rule in pre:
-                self.channel.flow_mod(switch, rule, epoch=epoch)
-            if group is not None:
-                self.channel.group_mod(switch, group, epoch=epoch)
-            for rule in post:
-                self.channel.flow_mod(switch, rule, epoch=epoch)
+        t0 = self._timer_start()
+        try:
+            rs = self.partition_map.get(partition)
+            self._part_version[partition] = self._part_version.get(partition, 0) + 1
+            for switch in self.channel.switches:
+                pre, group, post = self._plan_partition(
+                    rs, switch, self._info(switch), force=True
+                )
+                ops = []
+                if (switch.name, partition) in self._synced:
+                    ops.append(("delete", f"uni:{partition}"))
+                    ops.append(("delete", f"mc:{partition}"))
+                for rule in pre:
+                    ops.append(("rule", rule))
+                if group is not None:
+                    ops.append(("group", group))
+                for rule in post:
+                    ops.append(("rule", rule))
+                self._synced.add((switch.name, partition))
+                self.channel.apply_batch(switch, ops, epoch=epoch)
+        finally:
+            self._timer_stop(t0)
 
     def _partition_state(
         self, rs: ReplicaSet, switch, info: SwitchInfo
@@ -356,7 +527,7 @@ class NiceControllerApp(ControllerApp):
         return pre, group, post
 
     def _unicast_rules(self, rs: ReplicaSet, switch) -> List[Rule]:
-        subgroup = self.uni.subgroup_prefix(rs.partition)
+        subgroup = self._uni_prefix(rs.partition)
         rules: List[Rule] = []
         primary = self.hosts.get(rs.primary)
         targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
@@ -408,7 +579,7 @@ class NiceControllerApp(ControllerApp):
         group = Group(group_id=rs.partition, buckets=buckets)
         rules = [
             Rule(
-                Match(ip_dst=mc_group_address(rs.partition)),
+                Match(ip_dst=self._mc_addr(rs.partition)),
                 [OutputGroup(rs.partition)],
                 PRIO_VRING,
                 cookie=f"mc:{rs.partition}",
@@ -417,7 +588,7 @@ class NiceControllerApp(ControllerApp):
         if info.can_rewrite:
             rules.append(
                 Rule(
-                    Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
+                    Match(ip_dst=self._mc_prefix(rs.partition)),
                     [OutputGroup(rs.partition)],
                     PRIO_VRING,
                     cookie=f"mc:{rs.partition}",
@@ -444,7 +615,7 @@ class NiceControllerApp(ControllerApp):
         each put target receives exactly one copy, sender included, exactly
         as the single-switch ALL-group behaves.
         """
-        mcaddr = mc_group_address(rs.partition)
+        mcaddr = self._mc_addr(rs.partition)
         spine = self._mc_spine(rs.partition)
         up = self._uplink_to(switch.name, spine)
         if up is None:
@@ -474,7 +645,7 @@ class NiceControllerApp(ControllerApp):
         )
         rules.append(
             Rule(
-                Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
+                Match(ip_dst=self._mc_prefix(rs.partition)),
                 [SetIpDst(mcaddr), Output(up)],
                 PRIO_VRING,
                 cookie=cookie,
@@ -502,7 +673,7 @@ class NiceControllerApp(ControllerApp):
             return None, []
         rules = [
             Rule(
-                Match(ip_dst=mc_group_address(rs.partition)),
+                Match(ip_dst=self._mc_addr(rs.partition)),
                 [OutputGroup(rs.partition)],
                 PRIO_VRING,
                 cookie=f"mc:{rs.partition}",
@@ -531,7 +702,7 @@ class NiceControllerApp(ControllerApp):
                     break
         rules.append(
             Rule(
-                Match(ip_dst=self.uni.subgroup_prefix(rs.partition), proto=Proto.UDP,
+                Match(ip_dst=self._uni_prefix(rs.partition), proto=Proto.UDP,
                       dport=GET_PORT),
                 [SetIpDst(target.ip), SetEthDst(target.mac)] + uplink,
                 PRIO_LB,
@@ -540,7 +711,7 @@ class NiceControllerApp(ControllerApp):
         )
         rules.append(
             Rule(
-                Match(ip_dst=self.uni.subgroup_prefix(rs.partition)),
+                Match(ip_dst=self._uni_prefix(rs.partition)),
                 [SetIpDst(primary.ip), SetEthDst(primary.mac)] + uplink,
                 PRIO_VRING,
                 cookie=f"uni:{rs.partition}",
@@ -548,8 +719,8 @@ class NiceControllerApp(ControllerApp):
         )
         rules.append(
             Rule(
-                Match(ip_dst=self.mc.subgroup_prefix(rs.partition)),
-                [SetIpDst(mc_group_address(rs.partition))] + uplink,
+                Match(ip_dst=self._mc_prefix(rs.partition)),
+                [SetIpDst(self._mc_addr(rs.partition))] + uplink,
                 PRIO_VRING,
                 cookie=f"mc:{rs.partition}",
             )
@@ -558,11 +729,16 @@ class NiceControllerApp(ControllerApp):
 
     def _client_divisions(self, r: int) -> List[IPv4Network]:
         """Split the client space into the first ``r`` power-of-two blocks."""
+        memo = self._division_memo.get(r)
+        if memo is not None:
+            return memo
         blocks = 1
         while blocks < r:
             blocks *= 2
         new_plen = self.config.client_space.prefixlen + (blocks.bit_length() - 1)
-        return list(self.config.client_space.subnets(new_plen))[:r]
+        divisions = list(self.config.client_space.subnets(new_plen))[:r]
+        self._division_memo[r] = divisions
+        return divisions
 
     def _rewrite_to(self, rec: HostRecord, switch) -> list:
         loc = self.arp.lookup(rec.ip)
@@ -610,8 +786,32 @@ class NiceControllerApp(ControllerApp):
         for switch in self.channel.switches:
             rule = self._l3_rule(rec, switch, self._info(switch))
             if rule is not None:
-                self.channel.flow_delete(switch, rule.cookie, epoch=epoch)
-                self.channel.flow_mod(switch, rule, epoch=epoch)
+                self.channel.apply_batch(
+                    switch,
+                    [("delete", rule.cookie), ("rule", rule)],
+                    epoch=epoch,
+                )
+
+    def _hosts_for_l3(self, switch, info: SwitchInfo):
+        """Hosts that can possibly yield an L3 rule on ``switch``.
+
+        Core switches route to every known host; an edge/leaf only holds
+        entries for hosts learned behind itself.  The per-switch index is
+        rebuilt lazily when the topology or the ARP table changes, turning
+        desired_state's L3 leg from O(switches × hosts) into O(hosts).
+        """
+        if info.role == "core":
+            return self.hosts.values()
+        key = (self._topo_version, self.arp.generation)
+        if self._l3_index_memo is None or self._l3_index_memo[0] != key:
+            index: Dict[str, List[HostRecord]] = {}
+            lookup = self.arp.lookup
+            for rec in self.hosts.values():
+                loc = lookup(rec.ip)
+                if loc is not None:
+                    index.setdefault(loc.switch_name, []).append(rec)
+            self._l3_index_memo = (key, index)
+        return self._l3_index_memo[1].get(switch.name, ())
 
     def hide_host(self, name: str) -> None:
         """Hide a failed/inconsistent node from *clients* (§3.3, §4.4).
@@ -639,13 +839,13 @@ class NiceControllerApp(ControllerApp):
         cookie / group id — the reference side of the reconciliation diff."""
         info = self._info(switch)
         rules: List[Rule] = list(self._static_rules(switch, info))
-        for rec in self.hosts.values():
+        for rec in self._hosts_for_l3(switch, info):
             rule = self._l3_rule(rec, switch, info)
             if rule is not None:
                 rules.append(rule)
         groups: Dict[int, Group] = {}
         for rs in self.partition_map:
-            pre, group, post = self._partition_state(rs, switch, info)
+            pre, group, post = self._plan_partition(rs, switch, info)
             rules.extend(pre)
             rules.extend(post)
             if group is not None:
@@ -681,37 +881,53 @@ class NiceControllerApp(ControllerApp):
         by the chaos engine (cookie ``chaos:*``) are outside the desired
         state and deliberately left alone."""
         stats = {"installed": 0, "deleted": 0, "matched": 0, "groups": 0}
-        for switch in self.channel.switches:
-            # Claim mastership first (generation-id bump): the fence must
-            # engage even if this switch needs zero repairs.
-            self.channel.role_claim(switch, epoch=epoch)
-            want_rules, want_groups = self.desired_state(switch)
-            have: Dict[str, List[Rule]] = {}
-            for rule in switch.table.iter_rules():
-                if not rule.cookie.startswith("chaos:"):
-                    have.setdefault(rule.cookie, []).append(rule)
-            for cookie in sorted(set(have) - set(want_rules)):
-                self.channel.flow_delete(switch, cookie, epoch=epoch)
-                stats["deleted"] += len(have[cookie])
-            for cookie in sorted(want_rules):
-                rules = want_rules[cookie]
-                if cookie in have and self._rules_equal(have[cookie], rules):
-                    stats["matched"] += len(rules)
-                    continue
-                if cookie in have:
-                    self.channel.flow_delete(switch, cookie, epoch=epoch)
+        t0 = self._timer_start()
+        try:
+            for switch in self.channel.switches:
+                # Claim mastership first (generation-id bump): the fence must
+                # engage even if this switch needs zero repairs.
+                self.channel.role_claim(switch, epoch=epoch)
+                want_rules, want_groups = self.desired_state(switch)
+                have: Dict[str, List[Rule]] = {}
+                for rule in switch.table.iter_rules():
+                    if not rule.cookie.startswith("chaos:"):
+                        have.setdefault(rule.cookie, []).append(rule)
+                ops = []
+                for cookie in sorted(set(have) - set(want_rules)):
+                    ops.append(("delete", cookie))
                     stats["deleted"] += len(have[cookie])
-                for rule in rules:
-                    self.channel.flow_mod(switch, rule, epoch=epoch)
-                    stats["installed"] += 1
-            for gid in sorted(set(switch.groups) - set(want_groups)):
-                self.channel.group_delete(switch, gid, epoch=epoch)
-                stats["groups"] += 1
-            for gid in sorted(want_groups):
-                if not self._group_equal(switch.groups.get(gid), want_groups[gid]):
-                    self.channel.group_mod(switch, want_groups[gid], epoch=epoch)
+                for cookie in sorted(want_rules):
+                    rules = want_rules[cookie]
+                    if cookie in have and self._rules_equal(have[cookie], rules):
+                        stats["matched"] += len(rules)
+                        self._mark_synced(switch.name, cookie)
+                        continue
+                    if cookie in have:
+                        ops.append(("delete", cookie))
+                        stats["deleted"] += len(have[cookie])
+                    for rule in rules:
+                        ops.append(("rule", rule))
+                        stats["installed"] += 1
+                    self._mark_synced(switch.name, cookie)
+                for gid in sorted(set(switch.groups) - set(want_groups)):
+                    ops.append(("group_delete", gid))
                     stats["groups"] += 1
+                for gid in sorted(want_groups):
+                    if not self._group_equal(switch.groups.get(gid), want_groups[gid]):
+                        ops.append(("group", want_groups[gid]))
+                        stats["groups"] += 1
+                    self._synced.add((switch.name, gid))
+                self.channel.apply_batch(switch, ops, epoch=epoch)
+        finally:
+            self._timer_stop(t0)
         return stats
+
+    def _mark_synced(self, switch_name: str, cookie: str) -> None:
+        """Record that a vring cookie exists on a switch so the next
+        ``sync_partition`` for it issues its delete round-trip."""
+        kind, _, suffix = cookie.partition(":")
+        if kind in ("uni", "mc") and suffix.isdigit():
+            self._synced.add((switch_name, int(suffix)))
 
     # -- reactive path (packet-in) ----------------------------------------------------
     def on_packet_in(self, switch, packet: Packet, in_port_no: int, buffer_id: int) -> None:

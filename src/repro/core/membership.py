@@ -41,6 +41,10 @@ class ReplicaSet:
     joining: Set[str] = field(default_factory=set)
     handoffs: List[str] = field(default_factory=list)
     uncovered: Set[str] = field(default_factory=set)
+    #: Mutation counter bumped by every membership transition; the
+    #: controller's plan cache keys on it.  Excluded from equality so
+    #: wire round-trips and test fixtures compare by content.
+    rev: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -73,6 +77,7 @@ class ReplicaSet:
 
     # -- transitions (driven by the metadata service) -----------------------------
     def mark_failed(self, node: str) -> None:
+        self.rev += 1
         if node in self.members:
             self.absent.add(node)
             self.joining.discard(node)
@@ -94,12 +99,14 @@ class ReplicaSet:
     def add_handoff(self, node: str) -> None:
         if self.is_member(node):
             raise ValueError(f"{node} already serves partition {self.partition}")
+        self.rev += 1
         self.handoffs.append(node)
 
     def begin_rejoin(self, node: str) -> None:
         """Phase 1: put-visible only (still 'absent' for gets)."""
         if node not in self.members:
             raise ValueError(f"{node} is not an original member of p{self.partition}")
+        self.rev += 1
         self.joining.add(node)
 
     def complete_rejoin(self, node: str) -> List[str]:
@@ -109,6 +116,7 @@ class ReplicaSet:
         """
         if node not in self.joining:
             raise ValueError(f"{node} has not begun rejoin on p{self.partition}")
+        self.rev += 1
         self.joining.discard(node)
         self.absent.discard(node)
         self.uncovered.discard(node)
@@ -149,6 +157,9 @@ class PartitionMap:
 
     def __init__(self, replica_sets: List[ReplicaSet]):
         self._sets: Dict[int, ReplicaSet] = {rs.partition: rs for rs in replica_sets}
+        #: Bumped whenever a replica-set *object* is swapped in (HA log
+        #: replay); plan-cache entries keyed on the old object die with it.
+        self.generation = 0
 
     @staticmethod
     def build(
@@ -201,6 +212,7 @@ class PartitionMap:
     def install(self, rs: ReplicaSet) -> None:
         """Replace one partition's replica set (membership-log replay)."""
         self._sets[rs.partition] = rs
+        self.generation += 1
 
     def partitions_of(self, node: str) -> List[ReplicaSet]:
         """Every replica set ``node`` currently serves (member or handoff)."""

@@ -229,6 +229,13 @@ class NiceCluster:
             meta_targets = [METADATA_IP]
 
         self.nodes: Dict[str, NiceStorageNode] = {}
+        # One pass over the map instead of O(nodes × partitions) scans of
+        # partitions_of() — at 20×50 the repeated scans dominated build time.
+        member_of: Dict[str, List[ReplicaSet]] = {name: [] for name in node_names}
+        for rs in partition_map:
+            for member in dict.fromkeys([*rs.members, *rs.handoffs]):
+                if member in member_of:
+                    member_of[member].append(rs)
         for host, name in zip(storage_hosts, node_names):
             node = NiceStorageNode(
                 self.sim,
@@ -242,7 +249,7 @@ class NiceCluster:
                 rng=self.rng.stream(f"mc-loss:{name}") if cfg.multicast_chunk_loss else None,
             )
             self.metadata.register_node(name)
-            for rs in partition_map.partitions_of(name):
+            for rs in member_of[name]:
                 if cfg.metadata_standbys > 0:
                     # A private copy per node: a deposed leader replaying
                     # old state must not be able to mutate node views

@@ -36,15 +36,21 @@ class ArpTable:
         #: "keeps a list of recently ARPed addresses to avoid flooding" (§5).
         self._recently_asked: Dict[IPv4Address, float] = {}
         self.reask_interval_s = reask_interval_s
+        #: Monotonic mutation counter: anything derived from host locations
+        #: (the controller's plan cache and host→switch indexes) keys its
+        #: validity on this.
+        self.generation = 0
 
     def learn(self, ip: IPv4Address, mac: MacAddress, switch_name: str, port_no: int) -> ArpEntry:
         entry = ArpEntry(ip, mac, switch_name, port_no)
         self._entries[ip] = entry
         self._recently_asked.pop(ip, None)
+        self.generation += 1
         return entry
 
     def forget(self, ip: IPv4Address) -> None:
-        self._entries.pop(ip, None)
+        if self._entries.pop(ip, None) is not None:
+            self.generation += 1
 
     def lookup(self, ip: IPv4Address) -> Optional[ArpEntry]:
         return self._entries.get(ip)

@@ -64,6 +64,7 @@ class Network:
         self.sim = sim
         self.devices: Dict[str, Device] = {}
         self.links: List[Link] = []
+        self._link_index: Dict[frozenset, Link] = {}
 
     def register(self, device: Device) -> Device:
         if device.name in self.devices:
@@ -81,14 +82,13 @@ class Network:
         """Create a duplex link between fresh ports on ``a`` and ``b``."""
         link = Link(self.sim, a.new_port(), b.new_port(), bandwidth_bps, latency_s)
         self.links.append(link)
+        # First link between a pair wins, matching the linear-scan order
+        # link_between used before it was indexed.
+        self._link_index.setdefault(frozenset((a.name, b.name)), link)
         return link
 
     def link_between(self, a: Device, b: Device) -> Optional[Link]:
-        for link in self.links:
-            ends = {link.a.device, link.b.device}
-            if ends == {a, b}:
-                return link
-        return None
+        return self._link_index.get(frozenset((a.name, b.name)))
 
     # -- measurement (Figs 6-7) ------------------------------------------------
     def total_link_bytes(self) -> int:

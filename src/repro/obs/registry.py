@@ -153,6 +153,24 @@ class MetricsRegistry:
         ctrl = getattr(cluster, "control_plane", None)
         if ctrl is not None:
             reg.collect_object(ctrl, f"{p}controlplane")
+        controller = getattr(cluster, "controller", None)
+        if controller is not None and hasattr(controller, "plan_cache_hits"):
+            # Incremental-planner instrumentation (DESIGN.md §5i):
+            # cumulative planning wall time plus recompute/cache-hit
+            # counts.  sync_ms is host wall clock — trend data, never part
+            # of a determinism comparison.
+            reg.gauge(
+                f"{p}controlplane.plan.sync_ms",
+                lambda c=controller: round(c.plan_wall_s * 1e3, 3),
+            )
+            reg.gauge(
+                f"{p}controlplane.plan.partitions_recomputed",
+                lambda c=controller: c.plan_recomputes.value,
+            )
+            reg.gauge(
+                f"{p}controlplane.plan.cache_hits",
+                lambda c=controller: c.plan_cache_hits.value,
+            )
         metadata = getattr(cluster, "metadata", None)
         if metadata is not None:
             reg.collect_object(metadata, f"{p}metadata")
