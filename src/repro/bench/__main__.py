@@ -101,6 +101,12 @@ def _registry(n_ops: int, full: bool, smoke: bool = False):
             ("mean_op_ms", "NICE", ["workload"]),
         ),
         "sec46": (lambda: figures.sec46_switch_scalability(), None),
+        "read_scaling": (
+            lambda: figures.read_scaling(
+                n_ops_per_client=2000 if full else max(n_ops, 50),
+            ),
+            ("throughput_ops_s", "NICE", ["workload", "replication"]),
+        ),
         "scale": (
             lambda: figures.scale_fabric(
                 n_ops=max(n_ops // 5, 10),
@@ -262,10 +268,11 @@ def _run(parser, args, n_ops: int, jobs: int) -> int:
         if not wanted:
             return 0 if report["passed"] else 1
     if "all" in wanted:
-        # "all" = the paper's figure suite; the fabric scale family is its
-        # own opt-in run (python -m repro.bench scale) so the 81-cell
-        # baseline stays byte-stable.
-        wanted = [name for name in registry if name != "scale"]
+        # "all" = the paper's figure suite; the fabric scale family and the
+        # harmonia read-scaling sweep are their own opt-in runs (python -m
+        # repro.bench scale / read_scaling) so the 81-cell baseline stays
+        # byte-stable.
+        wanted = [name for name in registry if name not in ("scale", "read_scaling")]
     unknown = [w for w in wanted if w not in registry]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")

@@ -35,7 +35,15 @@ from ..workloads.synthetic import keys_in_partition
 from .harness import build_nice, build_noob
 from .parallel import Cell, drain_records, provenance, run_cells
 
-__all__ = ["run_suite", "format_report", "DEFAULT_OUT", "MODES", "run_case", "chaos_cell"]
+__all__ = [
+    "run_suite",
+    "format_report",
+    "DEFAULT_OUT",
+    "MODES",
+    "run_case",
+    "chaos_cell",
+    "harmonia_midput_cell",
+]
 
 #: Schedule-suite key the sweep builds its schedules under.
 SCHEDULE_KEY = "k0"
@@ -86,6 +94,24 @@ MODES: Dict[str, Dict] = {
         loss_fragile=False,
         overrides=dict(access="rac", consistency="primary", get_lb="round_robin"),
     ),
+    # Harmonia protocol mode (DESIGN.md §5j): switch dirty-set, any-replica
+    # conflict-free reads.  The honest mode must stay linearizable through
+    # every schedule; "harmonia-weak" clears the dirty entry on the commit
+    # multicast's *transit* (before replicas apply) — the directed
+    # rack-isolate-mid-put cell makes that leak a stale read the checker
+    # must catch.
+    "harmonia": dict(
+        system="nice",
+        expect_violation=False,
+        loss_fragile=False,
+        overrides=dict(protocol_mode="harmonia"),
+    ),
+    "harmonia-weak": dict(
+        system="nice",
+        expect_violation=True,
+        loss_fragile=False,
+        overrides=dict(protocol_mode="harmonia-weak"),
+    ),
 }
 
 #: Cluster shrunk for sweep speed; semantics (R=3, one partition under
@@ -109,12 +135,17 @@ def _schedule_suite(key: str, names: Optional[List[str]] = None) -> List[FaultSc
     suite = standard_schedules(key)
     suite["random-a"] = FaultSchedule.random(101, key)
     suite["random-b"] = FaultSchedule.random(202, key)
+    # Addressable by name but not part of the default sweep (the harmonia
+    # modes add them explicitly; the flow-rule families under attack are
+    # NICE-internal, so they are noise for the NOOB baselines).
+    extras = {"rule_flap": FaultSchedule.rule_flap(key)}
     if names is None:
         return list(suite.values())
-    unknown = [n for n in names if n not in suite]
+    by_name = {**suite, **extras}
+    unknown = [n for n in names if n not in by_name]
     if unknown:
-        raise ValueError(f"unknown schedule(s) {unknown}; have {sorted(suite)}")
-    return [suite[n] for n in names]
+        raise ValueError(f"unknown schedule(s) {unknown}; have {sorted(by_name)}")
+    return [by_name[n] for n in names]
 
 
 def _schedule_by_name(key: str, name: str) -> FaultSchedule:
@@ -303,6 +334,103 @@ def chaos_cell(
     )
 
 
+def harmonia_midput_cell(mode: str, seed: int) -> Dict:
+    """Directed harmonia race cell: rack isolation between the primary's
+    local commit and the commit multicast reaching a rack-1 secondary.
+
+    The stranded secondary keeps the old value while the primary holds the
+    new one and the client's put fails (ambiguous).  A correct dirty-set
+    pins the key to the primary (linearizable); the weakened variant
+    cleared the key on the commit's transit and serves the stale replica
+    rack-locally — the violation the checker must catch.
+    """
+    from ..core import ClusterConfig, NiceCluster
+
+    spec = MODES[mode]
+    cluster = NiceCluster(ClusterConfig(
+        n_storage_nodes=8, n_clients=2, replication_level=3, n_racks=2,
+        heartbeat_miss_limit=10_000, seed=seed, **spec["overrides"],
+    ))
+    cluster.warm_up()
+    sim = cluster.sim
+    c0, c1 = cluster.clients  # round-robin placement: rack 0, rack 1
+    recorder = HistoryRecorder()
+    for client in cluster.clients:
+        client.recorder = recorder
+
+    key = primary = secondary = None
+    for i in range(500):
+        cand = f"hk{i}"
+        rs = cluster.partition_map.get(cluster.uni_vring.subgroup_of_key(cand))
+        if cluster.rack_of[rs.primary] != 0:
+            continue
+        strays = [m for m in rs.get_targets()
+                  if m != rs.primary and cluster.rack_of[m] == 1]
+        if strays:
+            key, primary, secondary = cand, rs.primary, strays[0]
+            break
+    if key is None:
+        raise RuntimeError(f"seed {seed}: no rack-split replica set found")
+
+    events: List = []
+
+    def isolate_mid_put():
+        p_node, s_node = cluster.nodes[primary], cluster.nodes[secondary]
+        while True:
+            prepared = any(p.key == key and p.value == "v2"
+                           for p in s_node._pending.values())
+            obj = p_node.store.get(key)
+            if prepared and obj is not None and obj.value == "v2":
+                break
+            yield sim.timeout(10e-6)
+        for link in cluster.fabric.uplinks_of(1):
+            link.set_down(True)
+        events.append([sim.now, "rack 1 uplinks cut mid-put (post-commit@primary)"])
+
+    def driver():
+        r = yield c0.put(key, "v1", 1000)
+        assert r.ok
+        sim.process(isolate_mid_put())
+        yield c0.put(key, "v2", 1000, max_retries=0)
+        # Rack-0 reads force the ambiguous put's effect into the history,
+        # then rack-1 reads probe for the stale conflict-free read.
+        yield c0.get(key, max_retries=1)
+        for _ in range(4):
+            yield c1.get(key, max_retries=0)
+
+    proc = sim.process(driver())
+    sim.run(until=60.0)
+    if not proc.triggered:
+        raise RuntimeError("directed mid-put driver did not finish")
+
+    mono = check_monotonic(recorder.ops)
+    lin = check_linearizable(recorder.ops)
+    linearizable, core, reason = lin.ok, lin.violation, lin.reason
+    if not mono.ok and linearizable:
+        linearizable, core, reason = False, mono.violation, mono.reason
+    return {
+        "family": "harmonia-directed",
+        "standbys": 0,
+        "mode": mode,
+        "schedule": "rack_isolate_midput",
+        "has_loss": False,
+        "seed": seed,
+        "n_ops": len(recorder.ops),
+        "ok_ops": sum(1 for op in recorder.ops if op.ok),
+        "failed_ops": sum(1 for op in recorder.ops if op.completed and not op.ok),
+        "pending_ops": len(recorder.pending()),
+        "linearizable": bool(linearizable),
+        "monotonic_ok": bool(mono.ok),
+        "inconclusive": False,
+        "states": lin.states,
+        "chaos_events": events,
+        "violation": [str(op) for op in core],
+        "reason": reason,
+        "dirty_set": cluster.harmonia.stats(),
+        "stale_replica_reads": cluster.nodes[secondary].gets_served.value,
+    }
+
+
 def run_suite(
     seeds: int = 5,
     baseline_seeds: int = 2,
@@ -323,7 +451,7 @@ def run_suite(
     cp_names = sorted(controlplane_schedules(SCHEDULE_KEY))
     if smoke:
         seeds, baseline_seeds, duration = 2, 1, 8.0
-        modes = modes or ["nice", "rac-2pc", "rac-weak"]
+        modes = modes or ["nice", "rac-2pc", "rac-weak", "harmonia", "harmonia-weak"]
         schedules = schedules or [
             "crash_rejoin", "partition_rejoin", "primary_crash", *cp_names,
         ]
@@ -337,6 +465,12 @@ def run_suite(
     else:
         std_names = [n for n in schedules if n not in cp_names]
         cp_selected = [n for n in cp_names if n in schedules]
+    # Harmonia modes get their own cell plan below: the honest mode runs
+    # the standard suite plus the rule_flap schedule (its read rules are
+    # flow state the flap attacks), the weak mode runs the directed
+    # mid-put cell that deterministically exposes its early dirty-clear.
+    h_modes = [m for m in modes if m.startswith("harmonia")]
+    std_modes = [m for m in modes if not m.startswith("harmonia")]
     t0 = time.perf_counter()
     drain_records()  # isolate this suite's cell records from earlier runs
     cells = [
@@ -345,9 +479,27 @@ def run_suite(
             dict(mode=mode, schedule=schedule.name, duration=duration),
             seed=seed,
         )
-        for mode in modes
+        for mode in std_modes
         for schedule in _schedule_suite(SCHEDULE_KEY, std_names)
         for seed in range(1, (seeds if mode == "nice" else baseline_seeds) + 1)
+    ]
+    if "harmonia" in h_modes:
+        h_sched = [s.name for s in _schedule_suite(SCHEDULE_KEY, std_names)]
+        if "rule_flap" not in h_sched:
+            h_sched.append("rule_flap")
+        cells += [
+            Cell(
+                chaos_cell,
+                dict(mode="harmonia", schedule=name, duration=duration),
+                seed=seed,
+            )
+            for name in h_sched
+            for seed in range(1, baseline_seeds + 1)
+        ]
+    cells += [
+        Cell(harmonia_midput_cell, dict(mode=mode), seed=seed)
+        for mode in h_modes
+        for seed in range(1, baseline_seeds + 1)
     ]
     # The control-plane family (metadata-leader crash/failover, controller
     # channel outages) runs NICE-only, with one metadata standby.
@@ -422,8 +574,32 @@ def run_suite(
                 failures.append(
                     f"{tag}: settled cluster still needed repair: {cp['steady_reconcile']}"
                 )
+    h_rows = [c for c in cases if c["mode"].startswith("harmonia")]
+    harmonia_verdict = None
+    if h_rows:
+        safe_rows = [c for c in h_rows if c["mode"] == "harmonia"]
+        weak_rows = [c for c in h_rows if c["mode"] == "harmonia-weak"]
+        directed = [c for c in h_rows if c.get("family") == "harmonia-directed"]
+        dirty = {}
+        for c in directed:
+            for k, v in c.get("dirty_set", {}).items():
+                dirty[k] = dirty.get(k, 0) + v
+        harmonia_verdict = {
+            "cases": len(h_rows),
+            "safe_cases": len(safe_rows),
+            "safe_violations": len(
+                [c for c in safe_rows if not c["linearizable"]]
+            ),
+            "weak_cases": len(weak_rows),
+            "weak_caught": any(not c["linearizable"] for c in weak_rows),
+            "directed_cells": len(directed),
+            "stale_replica_reads": sum(
+                c.get("stale_replica_reads", 0) for c in directed
+            ),
+            "dirty_set": dirty,
+        }
     report = {
-        "schema_version": 3,
+        "schema_version": 4,
         "suite": "chaos",
         "smoke": smoke,
         "duration_s_per_case": duration,
@@ -435,6 +611,8 @@ def run_suite(
         "passed": not failures,
         "wall_s": round(time.perf_counter() - t0, 1),
     }
+    if harmonia_verdict is not None:
+        report["harmonia"] = harmonia_verdict
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -465,6 +643,14 @@ def format_report(report: Dict) -> str:
         tol = f", {s['tolerated']} tolerated (loss-fragile)" if s.get("tolerated") else ""
         lines.append(
             f"  {mode:<12} {s['cases']} cases, {s['violations']} violations ({want}){tol}"
+        )
+    h = report.get("harmonia")
+    if h:
+        lines.append(
+            f"  harmonia: {h['safe_cases']} safe cases "
+            f"({h['safe_violations']} violations), weak caught: "
+            f"{h['weak_caught']} over {h['weak_cases']} cases, "
+            f"{h['directed_cells']} directed mid-put cells"
         )
     lines.append("")
     lines.append("PASS" if report["passed"] else "FAIL:")

@@ -46,6 +46,7 @@ __all__ = [
     "fig10_load_balancing",
     "fig11_fault_tolerance",
     "fig12_ycsb",
+    "read_scaling",
     "sec46_switch_scalability",
 ]
 
@@ -575,6 +576,92 @@ def fig12_ycsb(
     result.note(
         f"{n_clients} clients x {n_ops_per_client} ops, {n_records} records, "
         "1 KB objects, zipfian"
+    )
+    return result
+
+
+# ----------------------------------------------------------- read scaling (§5j)
+def read_scaling_cell(
+    workload: str,
+    system: str,
+    replication: int,
+    n_ops_per_client: int,
+    n_clients: int,
+    n_records: int,
+    seed: int,
+) -> Dict:
+    """One read-scaling leg: YCSB workload x system x replication level on a
+    keyspace pinned to a single partition, so every get lands on one replica
+    set.  NICE-LB splits the client space across the targets statically;
+    harmonia round-robins clean keys over every consistent replica, so its
+    read throughput grows with R while LB's is capped by the division skew."""
+    cpu = 150e-6  # same hot-node regime as fig12
+    overrides = dict(
+        n_storage_nodes=15, n_clients=n_clients, node_cpu_per_op_s=cpu,
+        replication_level=replication, seed=seed,
+    )
+    if system == "NICE harmonia":
+        overrides["protocol_mode"] = "harmonia"
+    cluster = build_nice(**overrides)
+    keys = keys_in_partition(0, cluster.config.n_partitions, n_records)
+    runner = YcsbRunner(
+        WORKLOADS[workload],
+        n_records=n_records,
+        rng=np.random.default_rng(cluster.config.seed),
+        keys=keys,
+    )
+    proc = runner.run(cluster.clients[:n_clients], cluster.sim, n_ops_per_client)
+    stats = run_to_completion(cluster, proc)
+    return {
+        "rows": [
+            dict(
+                workload=workload,
+                system=system,
+                replication=replication,
+                throughput_ops_s=stats["throughput_ops_s"],
+                mean_op_ms=runner.op_latency.mean * 1e3,
+                stdev_ms=runner.op_latency.stdev * 1e3,
+                errors=stats["errors"],
+            )
+        ]
+    }
+
+
+def read_scaling(
+    n_ops_per_client: int = 2000,
+    n_clients: int = 10,
+    n_records: int = 200,
+    workloads: Sequence[str] = ("B", "C"),
+    replications: Sequence[int] = (1, 3, 5),
+    seed: int = BASE_SEED,
+) -> ExperimentResult:
+    """Read scaling vs replication level — NICE-LB against harmonia mode
+    (DESIGN.md §5j) on a single hot partition, YCSB B and C."""
+    result = ExperimentResult(
+        "read_scaling",
+        "Read scaling — hot-partition throughput (ops/s) vs replication level",
+        ["workload", "system", "replication", "throughput_ops_s",
+         "mean_op_ms", "stdev_ms", "errors"],
+    )
+    cells = [
+        Cell(
+            read_scaling_cell,
+            dict(
+                workload=wl, system=system, replication=r,
+                n_ops_per_client=n_ops_per_client, n_clients=n_clients,
+                n_records=n_records,
+            ),
+            seed=seed,
+        )
+        for wl in workloads
+        for r in replications
+        for system in ("NICE", "NICE harmonia")
+    ]
+    for payload in run_cells(cells):
+        result.rows.extend(payload["rows"])
+    result.note(
+        f"{n_clients} clients x {n_ops_per_client} ops on a single partition "
+        f"({n_records} records, zipfian); R swept over {tuple(replications)}"
     )
     return result
 

@@ -16,6 +16,11 @@ The benches cover the layers of the simulator fast path (schema v5):
   cluster, cache on vs off, asserting the results are bit-identical.
 * ``approx_vs_exact`` — the same leg under ``sim_mode="approx"`` vs
   ``"exact"``: event reduction, wall speedup, and result drift.
+* ``harmonia_read_floor`` — hot-partition YCSB-C read throughput at R=3,
+  harmonia mode vs NICE-LB (DESIGN.md §5j).  The §4.5 divisions leave the
+  primary with half an evenly-spread client population, so harmonia's
+  any-consistent-replica round-robin must clear ``HARMONIA_READ_FLOOR``
+  (1.5x) on the gate's 5-client population; the suite asserts it.
 * ``plan_scale`` — the incremental rule planner (schema v5) on the scale
   ladder's fabric rungs: cold ``sync_all`` wall time, warm ``reconcile``
   wall time (must recompute **zero** plans — every partition served from
@@ -48,6 +53,7 @@ from ..net import FlowTable, IPv4Address, IPv4Network, Match, Output, Packet, Pr
 from ..obs import install as install_tracer
 from ..sim import AllOf, AnyOf, Simulator
 from ..workloads import closed_loop_puts
+from .figures import BASE_SEED, read_scaling_cell
 from .harness import build_nice, run_to_completion
 from .parallel import provenance
 
@@ -62,6 +68,15 @@ TRACE_OVERHEAD_MAX = 1.30
 
 #: Environment escape hatch honored by FlowTable (see flowtable.py).
 DISABLE_ENV = "REPRO_DISABLE_FLOW_CACHE"
+
+#: Floor on harmonia's hot-partition read throughput relative to NICE-LB
+#: at R=3 under YCSB-C (the §5j read-scaling contract).  The structural
+#: ratio on the gate population is 1.8x (the LB primary carries 3 of the
+#: 5 client IPs — two in its own division plus the power-of-two
+#: fall-through block — while harmonia serves each replica 1/3), so 1.5x
+#: leaves room for closed-loop tail effects without ever passing a
+#: regression that collapses the round-robin.
+HARMONIA_READ_FLOOR = 1.5
 
 
 # ------------------------------------------------------------------ kernel
@@ -371,6 +386,46 @@ def bench_trace_overhead(n_ops: int = 400, size: int = 1 << 12) -> dict:
     }
 
 
+# -------------------------------------------------- harmonia read floor
+def bench_harmonia_read_floor(
+    n_ops_per_client: int = 800, n_clients: int = 5, n_records: int = 200
+) -> dict:
+    """Hot-partition YCSB-C at R=3: harmonia vs NICE-LB read throughput.
+
+    Reuses the read-scaling cell (one partition's keyspace, 150us server
+    cost) so the gate measures exactly what the figure plots.  5 clients
+    is the deliberately LB-hostile population: stride placement lands 3
+    of the 5 in the primary's share of the §4.5 division space.
+    """
+    legs = {}
+    for label, system in (("nice_lb", "NICE"), ("harmonia", "NICE harmonia")):
+        t0 = time.perf_counter()
+        row = read_scaling_cell(
+            workload="C", system=system, replication=3,
+            n_ops_per_client=n_ops_per_client, n_clients=n_clients,
+            n_records=n_records, seed=BASE_SEED,
+        )["rows"][0]
+        row["wall_s"] = time.perf_counter() - t0
+        legs[label] = row
+    ratio = (
+        legs["harmonia"]["throughput_ops_s"] / legs["nice_lb"]["throughput_ops_s"]
+    )
+    return {
+        "workload": "C",
+        "replication": 3,
+        "n_ops_per_client": n_ops_per_client,
+        "n_clients": n_clients,
+        "n_records": n_records,
+        "nice_lb": legs["nice_lb"],
+        "harmonia": legs["harmonia"],
+        "ratio": ratio,
+        "floor": HARMONIA_READ_FLOOR,
+        "floor_ok": ratio >= HARMONIA_READ_FLOOR
+        and legs["nice_lb"]["errors"] == 0
+        and legs["harmonia"]["errors"] == 0,
+    }
+
+
 # ------------------------------------------------------------ plan_scale
 #: The fabric rungs plan_scale climbs (racks, hosts_per_rack, rule budget).
 #: Clusters build in approx mode — the planner under test is
@@ -468,6 +523,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         approx = bench_approx_vs_exact(n_ops=40)
         trace = bench_trace_overhead(n_ops=40)
         plan = bench_plan_scale(rungs=PLAN_SCALE_SMOKE_RUNGS)
+        read_floor = bench_harmonia_read_floor(n_ops_per_client=300)
     else:
         kernel = bench_kernel_churn()
         steady = bench_kernel_steady()
@@ -477,6 +533,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
         approx = bench_approx_vs_exact()
         trace = bench_trace_overhead()
         plan = bench_plan_scale()
+        read_floor = bench_harmonia_read_floor()
     # Hard determinism/overhead contracts (DESIGN.md §5e/§5g): fail the
     # suite loudly rather than publish a report that quietly violates them.
     assert fig5["results_identical"], "flow-cache on/off changed results"
@@ -496,6 +553,11 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
     assert all(r["warm_reconcile_noop"] for r in plan["rungs"]), (
         "warm reconcile was not a table no-op"
     )
+    assert read_floor["floor_ok"], (
+        f"harmonia hot-partition read throughput {read_floor['ratio']:.2f}x "
+        f"NICE-LB is under the {read_floor['floor']:.2f}x floor "
+        f"(R=3, YCSB-C)"
+    )
     # The perf suite deliberately bypasses the cell cache: its payload is
     # host wall-clock, which a cached result would misreport.
     report = {
@@ -514,6 +576,7 @@ def run_suite(smoke: bool = False, out_path: Optional[str] = DEFAULT_OUT) -> dic
             "approx_vs_exact": approx,
             "trace_overhead": trace,
             "plan_scale": plan,
+            "harmonia_read_floor": read_floor,
         },
     }
     if out_path:
@@ -572,6 +635,14 @@ def format_report(report: dict) -> str:
         )
         lines.append(
             f"  plan_scale     : {per_rung}, warm-cached={p['all_warm_cached']}"
+        )
+    h = b.get("harmonia_read_floor")
+    if h is not None:
+        lines.append(
+            f"  harmonia_reads : {h['ratio']:.2f}x NICE-LB at R=3 YCSB-C"
+            f" ({h['harmonia']['throughput_ops_s']:,.0f} vs"
+            f" {h['nice_lb']['throughput_ops_s']:,.0f} ops/s,"
+            f" floor {h['floor']:.2f}x, ok={h['floor_ok']})"
         )
     t = b.get("trace_overhead")
     if t is not None:

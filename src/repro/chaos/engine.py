@@ -324,6 +324,10 @@ class ChaosEngine:
         for switch in self._all_switches():
             removed += switch.remove_cookie(f"uni:{partition}")
             removed += switch.remove_cookie(f"mc:{partition}")
+            # Harmonia mode (DESIGN.md §5j) carries its read rule in a
+            # separate family; a flap must rip it out too or the stale
+            # frozen replica choices outlive the flap window.
+            removed += switch.remove_cookie(f"hread:{partition}")
 
         def resync(partition=partition):
             controller.sync_partition(partition)

@@ -172,14 +172,35 @@ class NiceClient:
         self.failures.add()
         return OpResult(False, self.sim.now - t0, max_retries, status="timeout")
 
+    def _resolve_get_route(self, key: str, attempt: int):
+        """Vnode address for one get attempt.
+
+        Attempt 0 is the canonical hash-resolved vnode.  Retries
+        *re-resolve*: they rotate deterministically to a different vnode
+        address of the same subgroup, so a retry never re-presents the
+        byte-identical header tuple its failed predecessor used — the
+        switches must re-scan it against their *current* tables instead
+        of serving whatever per-flow state (exact-match cache entries,
+        in-flight buffered copies) the pre-flap/pre-reconcile route left
+        behind.  The subgroup — and therefore the partition and every
+        rule that can match — is unchanged; only the flow identity moves.
+        """
+        vaddr = self.uni.vnode_for_key(key)
+        if attempt == 0:
+            return vaddr
+        prefix = self.uni.subgroup_prefix(self.uni.subgroup_of_key(key))
+        offset = (vaddr - prefix.address + attempt) % prefix.num_addresses
+        return prefix.address + offset
+
     def _get(self, key: str, max_retries: int):
         t0 = self.sim.now
-        vaddr = self.uni.vnode_for_key(key)
         tr = self.sim.tracer
-        if tr is not None:
-            tr.instant("vnode_resolve", "client", node=self.host.name,
-                       key=key, vnode=str(vaddr), kind="get")
         for attempt in range(max_retries + 1):
+            vaddr = self._resolve_get_route(key, attempt)
+            if tr is not None:
+                tr.instant("vnode_resolve", "client", node=self.host.name,
+                           key=key, vnode=str(vaddr), kind="get",
+                           attempt=attempt)
             op_id = self._new_op()
             span = None
             if tr is not None:

@@ -144,6 +144,16 @@ class ClusterConfig:
     #: discrete.  Approx trades exact RNG ordering for event count; use it
     #: for throughput sweeps, never for bit-identity comparisons.
     sim_mode: str = field(default_factory=lambda: _DEFAULT_SIM_MODE)
+    #: Read-path protocol (DESIGN.md §5j).  "nice" (default) keeps the
+    #: paper's §4.5 static (src-prefix, dst-prefix) load balancer.
+    #: "harmonia" adds a switch-maintained dirty-set of in-flight puts
+    #: (Harmonia, arXiv 1904.08964): gets on clean keys round-robin over
+    #: every consistent replica, gets on dirty keys fall back to the
+    #: primary.  "harmonia-weak" is a deliberately broken variant that
+    #: clears the dirty entry when the commit multicast *transits* the
+    #: switch (before replicas apply) — kept only so the chaos suite can
+    #: prove the linearizability checker catches the stale-read window.
+    protocol_mode: str = "nice"
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -165,6 +175,11 @@ class ClusterConfig:
             raise ValueError(f"deployment must be 'hw' or 'ovs': {self.deployment!r}")
         if self.sim_mode not in ("exact", "approx"):
             raise ValueError(f"sim_mode must be 'exact' or 'approx': {self.sim_mode!r}")
+        if self.protocol_mode not in ("nice", "harmonia", "harmonia-weak"):
+            raise ValueError(
+                "protocol_mode must be 'nice', 'harmonia' or "
+                f"'harmonia-weak': {self.protocol_mode!r}"
+            )
         if self.metadata_standbys < 0:
             raise ValueError(f"metadata_standbys must be >= 0: {self.metadata_standbys}")
         if self.n_racks < 1:

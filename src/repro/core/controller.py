@@ -35,6 +35,7 @@ from ..net import (
     ControllerApp,
     FLOOD,
     Group,
+    HarmoniaRead,
     IPv4Address,
     IPv4Network,
     MacAddress,
@@ -58,6 +59,9 @@ __all__ = ["NiceControllerApp", "HostRecord", "SwitchInfo"]
 
 #: Rule priorities (higher wins).
 PRIO_ARP = 500
+#: Harmonia-mode read rule (DESIGN.md §5j): one dirty-set-aware entry per
+#: partition, above the §4.5 static LB divisions it replaces.
+PRIO_HARMONIA = 310
 PRIO_LB = 300
 #: Fabric: multicast arriving from the designated spine is delivered
 #: locally; it must outrank the plain ascend rule on the same address.
@@ -152,6 +156,9 @@ class NiceControllerApp(ControllerApp):
         self.uni = unicast_vring
         self.mc = multicast_vring
         self.hosts: Dict[str, HostRecord] = {}
+        #: The cluster's shared dirty-set registry in Harmonia mode
+        #: (DESIGN.md §5j), set by the system builder; None in NICE mode.
+        self.harmonia = None
         #: Control-plane epoch stamped on outgoing flow-mods.  The acting
         #: metadata leader keeps this equal to its own epoch; switches
         #: fence anything older (see OpenFlowSwitch.accept_epoch).
@@ -313,6 +320,11 @@ class NiceControllerApp(ControllerApp):
 
     def _info(self, switch) -> SwitchInfo:
         return self._switch_info.get(switch.name, _DEFAULT_SWITCH_INFO)
+
+    @property
+    def _harmonia_mode(self) -> bool:
+        """Plan the ``hread:`` rule family instead of §4.5 LB divisions?"""
+        return self.config.protocol_mode != "nice"
 
     # Static per-partition derivations (IPv4Network construction is the
     # single hottest allocation in a full sync at 1000 nodes — memoized,
@@ -496,6 +508,8 @@ class NiceControllerApp(ControllerApp):
                 if (switch.name, partition) in self._synced:
                     ops.append(("delete", f"uni:{partition}"))
                     ops.append(("delete", f"mc:{partition}"))
+                    if self._harmonia_mode:
+                        ops.append(("delete", f"hread:{partition}"))
                 for rule in pre:
                     ops.append(("rule", rule))
                 if group is not None:
@@ -504,6 +518,12 @@ class NiceControllerApp(ControllerApp):
                     ops.append(("rule", rule))
                 self._synced.add((switch.name, partition))
                 self.channel.apply_batch(switch, ops, epoch=epoch)
+            if self.harmonia is not None:
+                # Pins (and any orphaned in-flight entries) bridged the
+                # gap between a put failure and this membership-driven
+                # re-sync; the fresh rules only target get-visible
+                # replicas, so the registry can let go of the partition.
+                self.harmonia.on_sync(partition)
         finally:
             self._timer_stop(t0)
 
@@ -533,7 +553,24 @@ class NiceControllerApp(ControllerApp):
         targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
         if primary is None or not targets:
             return rules  # partition dark: no consistent replica reachable
-        if self.config.load_balancing and len(targets) > 1:
+        if self._harmonia_mode and len(targets) > 1:
+            # One dirty-set-aware entry replaces the §4.5 LB divisions:
+            # the switch resolves the replica per packet (DESIGN.md §5j).
+            # choices[0] is the primary — the dirty-key fallback — even
+            # when a failover moved the primary off members[0].
+            ordered = [primary] + [t for t in targets if t is not primary]
+            choices = tuple(
+                tuple(self._rewrite_to(rec, switch)) for rec in ordered
+            )
+            rules.append(
+                Rule(
+                    Match(ip_dst=subgroup, proto=Proto.UDP, dport=GET_PORT),
+                    [HarmoniaRead(rs.partition, choices)],
+                    PRIO_HARMONIA,
+                    cookie=f"hread:{rs.partition}",
+                )
+            )
+        elif self.config.load_balancing and len(targets) > 1:
             for division, rec in zip(self._client_divisions(len(targets)), targets):
                 rules.append(
                     Rule(
@@ -693,22 +730,41 @@ class NiceControllerApp(ControllerApp):
         targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
         if primary is None or not targets:
             return rules
-        # Which replica serves THIS client's gets (its LB division, §4.5).
-        target = primary
-        if self.config.load_balancing and len(targets) > 1 and info.client_ip is not None:
-            for division, rec in zip(self._client_divisions(len(targets)), targets):
-                if info.client_ip in division:
-                    target = rec
-                    break
-        rules.append(
-            Rule(
-                Match(ip_dst=self._uni_prefix(rs.partition), proto=Proto.UDP,
-                      dport=GET_PORT),
-                [SetIpDst(target.ip), SetEthDst(target.mac)] + uplink,
-                PRIO_LB,
-                cookie=f"uni:{rs.partition}",
+        if self._harmonia_mode and len(targets) > 1:
+            # The client-side OVS is the rewriting hop (§5.1), so it hosts
+            # the dirty-set rule; the hardware core just forwards.
+            # choices[0] is the primary (dirty-key fallback), as above.
+            ordered = [primary] + [t for t in targets if t is not primary]
+            choices = tuple(
+                (SetIpDst(rec.ip), SetEthDst(rec.mac), Output(info.uplink_port))
+                for rec in ordered
             )
-        )
+            rules.append(
+                Rule(
+                    Match(ip_dst=self._uni_prefix(rs.partition),
+                          proto=Proto.UDP, dport=GET_PORT),
+                    [HarmoniaRead(rs.partition, choices)],
+                    PRIO_HARMONIA,
+                    cookie=f"hread:{rs.partition}",
+                )
+            )
+        else:
+            # Which replica serves THIS client's gets (its LB division, §4.5).
+            target = primary
+            if self.config.load_balancing and len(targets) > 1 and info.client_ip is not None:
+                for division, rec in zip(self._client_divisions(len(targets)), targets):
+                    if info.client_ip in division:
+                        target = rec
+                        break
+            rules.append(
+                Rule(
+                    Match(ip_dst=self._uni_prefix(rs.partition), proto=Proto.UDP,
+                          dport=GET_PORT),
+                    [SetIpDst(target.ip), SetEthDst(target.mac)] + uplink,
+                    PRIO_LB,
+                    cookie=f"uni:{rs.partition}",
+                )
+            )
         rules.append(
             Rule(
                 Match(ip_dst=self._uni_prefix(rs.partition)),
@@ -926,7 +982,7 @@ class NiceControllerApp(ControllerApp):
         """Record that a vring cookie exists on a switch so the next
         ``sync_partition`` for it issues its delete round-trip."""
         kind, _, suffix = cookie.partition(":")
-        if kind in ("uni", "mc") and suffix.isdigit():
+        if kind in ("uni", "mc", "hread") and suffix.isdigit():
             self._synced.add((switch_name, int(suffix)))
 
     # -- reactive path (packet-in) ----------------------------------------------------
@@ -1022,10 +1078,35 @@ class NiceControllerApp(ControllerApp):
         return total
 
     def rule_counts_by_switch(self) -> Dict[str, int]:
-        """Installed rules per switch (every cookie) — the per-switch side
-        of the §4.6 budget that the fabric's ``switch_rule_budget``
-        enforces at install time."""
+        """Controller-planned rules per switch — the per-switch side of
+        the §4.6 budget that the fabric's ``switch_rule_budget`` enforces
+        at install time.  Rules injected by the chaos engine (cookie
+        ``chaos:*``) are fault machinery, not planned state, and are
+        excluded — an in-flight fault schedule must not inflate (or mask
+        headroom in) the budget census."""
         return {
-            switch.name: len(switch.table)
+            switch.name: sum(
+                1
+                for rule in switch.table.iter_rules()
+                if not rule.cookie.startswith("chaos:")
+            )
             for switch in self.channel.switches
         }
+
+    def rule_census_by_switch(self) -> Dict[str, Dict[str, int]]:
+        """Per-family rule census: switch name -> {family: count}.
+
+        The family is the cookie prefix before ``:`` (``uni``, ``mc``,
+        ``hread``, ``l3``, ``l3agg``, ``arp``, ``edge-base``); ``chaos``
+        cookies are excluded exactly as in :meth:`rule_counts_by_switch`,
+        of which this is the itemized breakdown (same totals)."""
+        census: Dict[str, Dict[str, int]] = {}
+        for switch in self.channel.switches:
+            families: Dict[str, int] = {}
+            for rule in switch.table.iter_rules():
+                family = rule.cookie.partition(":")[0] or "(uncookied)"
+                if family == "chaos":
+                    continue
+                families[family] = families.get(family, 0) + 1
+            census[switch.name] = families
+        return census

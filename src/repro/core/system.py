@@ -16,6 +16,7 @@ from typing import Dict, List
 
 from ..net import (
     ControlPlane,
+    HarmoniaRegistry,
     Host,
     IPv4Address,
     IPv4Network,
@@ -84,6 +85,17 @@ class NiceCluster:
         self.uni_vring = VirtualRing(cfg.unicast_vring, cfg.n_partitions)
         self.mc_vring = VirtualRing(cfg.multicast_vring, cfg.n_partitions)
 
+        #: Shared dirty-set registry in Harmonia mode (DESIGN.md §5j);
+        #: None keeps every switch on the untouched NICE read path.
+        self.harmonia = None
+        if cfg.protocol_mode != "nice":
+            self.harmonia = HarmoniaRegistry(
+                self.uni_vring, weak=(cfg.protocol_mode == "harmonia-weak")
+            )
+            core = self.fabric.switches if self.fabric is not None else [self.switch]
+            for sw in core:
+                sw._harmonia = self.harmonia
+
         node_names = [f"n{i}" for i in range(cfg.n_storage_nodes)]
         per_rack = -(-cfg.n_storage_nodes // cfg.n_racks)
         #: node name -> rack index (all rack 0 in the single-switch default).
@@ -99,6 +111,7 @@ class NiceCluster:
         self.controller = NiceControllerApp(
             cfg, partition_map, self.uni_vring, self.mc_vring
         )
+        self.controller.harmonia = self.harmonia
         self.control_plane = ControlPlane(
             self.sim, self.controller, latency_s=cfg.controller_latency_s
         )
@@ -195,6 +208,8 @@ class NiceCluster:
                     ovs, role="edge", can_rewrite=True,
                     client_ip=host.ip, uplink_port=uplink_port,
                 )
+                if self.harmonia is not None:
+                    ovs._harmonia = self.harmonia
                 self.edge_switches.append(ovs)
             else:
                 self._attach(host, client_rack)

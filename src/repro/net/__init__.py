@@ -15,9 +15,11 @@ from .flowtable import (
     Rule,
     SetEthDst,
     SetIpDst,
+    HarmoniaRead,
     SetIpSrc,
     ToController,
 )
+from .harmonia import HarmoniaRegistry
 from .host import Host
 from .link import Channel, GBPS, Link, MBPS, Port
 from .packet import HEADER_BYTES, MTU_BYTES, Packet, Proto, wire_size
@@ -40,6 +42,8 @@ __all__ = [
     "FlowTable",
     "GBPS",
     "Group",
+    "HarmoniaRead",
+    "HarmoniaRegistry",
     "HEADER_BYTES",
     "Host",
     "IPv4Address",

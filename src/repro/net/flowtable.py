@@ -32,6 +32,7 @@ __all__ = [
     "OutputGroup",
     "ToController",
     "Drop",
+    "HarmoniaRead",
 ]
 
 
@@ -139,6 +140,22 @@ class ToController(Action):
 @dataclass(frozen=True)
 class Drop(Action):
     pass
+
+
+@dataclass(frozen=True)
+class HarmoniaRead(Action):
+    """Dirty-set-aware replica selection for gets (DESIGN.md §5j).
+
+    ``choices`` holds one pre-planned action tuple per consistent replica
+    of ``partition`` (each ends in an :class:`Output`); index 0 is the
+    primary.  The switch resolves the choice *per packet* against its
+    shared dirty-set registry: clean keys round-robin across all choices,
+    dirty (or pinned) keys always take ``choices[0]`` — the conflict-free
+    read rule of Harmonia (arXiv 1904.08964) on NICE's vring rules.
+    """
+
+    partition: int
+    choices: tuple  # tuple of action tuples, primary first
 
 
 _rule_seq = itertools.count(1)

@@ -25,6 +25,7 @@ from .flowtable import (
     Drop,
     FlowTable,
     Group,
+    HarmoniaRead,
     Output,
     OutputGroup,
     Rule,
@@ -85,6 +86,9 @@ class OpenFlowSwitch(Device):
         #: plane).  0 accepts everything until a stamped message arrives.
         self.control_epoch = 0
         self.fenced_mods = Counter(f"{name}.fenced_mods")
+        #: Shared dirty-set registry when the cluster runs in Harmonia
+        #: mode (DESIGN.md §5j); None keeps the NICE read path untouched.
+        self._harmonia = None
 
     # -- data plane ---------------------------------------------------------
     def handle_packet(self, packet: Packet, in_port: Port) -> None:
@@ -103,6 +107,8 @@ class OpenFlowSwitch(Device):
         sim.call_in(self.lookup_latency_s, self._pipeline, packet, in_port.number)
 
     def _pipeline(self, packet: Packet, in_port_no: int) -> None:
+        if self._harmonia is not None:
+            self._harmonia.observe(packet)
         rule = self.table.lookup(packet, in_port_no)
         tr = self.sim.tracer
         if rule is None:
@@ -151,11 +157,41 @@ class OpenFlowSwitch(Device):
                 self._output_group(packet, action.group_id, in_port_no, rewrote)
             elif isinstance(action, ToController):
                 self._packet_in(packet, in_port_no)
+            elif isinstance(action, HarmoniaRead):
+                self.apply_actions(
+                    packet, self._harmonia_choice(packet, action), in_port_no
+                )
             elif isinstance(action, Drop):
                 self.dropped.add()
                 return
             else:
                 raise TypeError(f"{self.name}: unknown action {action!r}")
+
+    def _harmonia_choice(self, packet: Packet, action: HarmoniaRead):
+        """Resolve a :class:`HarmoniaRead` per packet (DESIGN.md §5j).
+
+        Clean keys round-robin over every planned replica leg; dirty or
+        pinned keys — and anything we cannot attribute to a key — take
+        ``choices[0]``, the primary.  With no registry attached (a rule
+        outliving a mode change) the primary leg is the safe default.
+        """
+        choices = action.choices
+        reg = self._harmonia
+        if reg is None or len(choices) == 1:
+            return choices[0]
+        payload = packet.payload
+        key = payload.get("key") if isinstance(payload, dict) else None
+        if reg.is_dirty(key):
+            reg.fallback_reads += 1
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.instant(
+                    "harmonia_fallback", "switch", node=self.name,
+                    key=key, partition=action.partition,
+                )
+            return choices[0]
+        reg.balanced_reads += 1
+        return choices[reg.next_index(action.partition, len(choices))]
 
     def _output(self, packet: Packet, port_no: int, in_port_no: int, rewrote: bool) -> None:
         delay = self.rewrite_penalty_s if rewrote else 0.0

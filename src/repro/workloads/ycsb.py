@@ -59,11 +59,21 @@ class YcsbRunner:
         n_records: int = 1000,
         object_bytes: int = DEFAULT_OBJECT_BYTES,
         rng: np.random.Generator = None,
+        keys: List[str] = None,
     ):
+        """``keys`` substitutes an explicit keyspace for the default
+        ``user<i>`` names — e.g. keys pinned to one partition so a run
+        exercises a single replica set's read path.  Must hold at least
+        ``n_records`` names (inserts past it fall back to ``user<i>``)."""
         self.workload = workload
         self.n_records = n_records
         self.object_bytes = object_bytes
         self.rng = rng or np.random.default_rng(0)
+        if keys is not None and len(keys) < n_records:
+            raise ValueError(
+                f"explicit keyspace holds {len(keys)} names < {n_records} records"
+            )
+        self.keys = list(keys) if keys is not None else None
         if workload.distribution == "zipfian":
             self.keychooser = ScrambledZipfianGenerator(n_records, rng=self.rng)
         elif workload.distribution == "latest":
@@ -78,6 +88,8 @@ class YcsbRunner:
         self.ops_done = 0
 
     def key(self, index: int) -> str:
+        if self.keys is not None and index < len(self.keys):
+            return self.keys[index]
         return f"user{index}"
 
     def _choose_op(self) -> str:

@@ -181,3 +181,85 @@ def test_get_error_reply_backs_off_before_retrying():
     gap = attempts[1][0].ts - attempts[0][0].ts
     assert gap >= cfg.client_retry_timeout_s
     assert gap < cfg.client_retry_timeout_s + 0.1
+
+
+def resolved_routes(tracer, key):
+    """The per-attempt get routes a client traced for ``key``."""
+    return [
+        ev.args["vnode"]
+        for ev in tracer.events
+        if ev.ph == "i" and ev.name == "vnode_resolve"
+        and ev.args.get("kind") == "get" and ev.args.get("key") == key
+    ]
+
+
+def test_get_retries_reresolve_the_route():
+    """Each get retry must re-resolve routing and present a *fresh* flow
+    identity within the key's subgroup — not re-send the byte-identical
+    header tuple its failed predecessor used (which any per-flow state
+    keyed on the old route would keep answering stale)."""
+    cluster = make_cluster()
+    tracer = install_tracer(cluster.sim, label="test")
+    client = cluster.clients[0]
+    key = "re-resolve-me"
+
+    def swallow_attempts(sim, n):
+        # Eat the first n in-flight attempts so the client times out and
+        # walks the whole retry ladder.
+        for _ in range(n):
+            yield sim.timeout(1e-4)
+            (op_id, waiter), = list(client._waiters.items())
+            waiter.succeed({"op_id": list(op_id), "status": "error"})
+            yield sim.timeout(cluster.config.client_retry_timeout_s)
+
+    def driver(sim):
+        sim.process(swallow_attempts(sim, 3))
+        result = yield client.get(key, max_retries=3)
+        return result
+
+    result = run_driver(cluster, driver(cluster.sim), until=120.0)
+    assert result.retries == 3
+    routes = resolved_routes(tracer, key)
+    # One resolution per attempt — and every attempt got its own address.
+    assert len(routes) == 4
+    assert len(set(routes)) == 4, f"retries reused a route: {routes}"
+    # The rotation never leaves the key's subgroup: partition and rule
+    # coverage are unchanged, only the flow identity moves.
+    vring = cluster.uni_vring
+    subgroup = vring.subgroup_of_key(key)
+    for route in routes:
+        from repro.net import IPv4Address
+        assert vring.subgroup_of_address(IPv4Address(route)) == subgroup
+
+
+def test_get_succeeds_across_rule_flap():
+    """Rule-flap chaos: the partition's flow rules are ripped out while a
+    get is in flight.  The attempt that lands in the down window stalls,
+    and the retry — re-resolved against the re-synced tables — must
+    complete with the committed value."""
+    cluster = make_cluster()
+    tracer = install_tracer(cluster.sim, label="test")
+    client = cluster.clients[0]
+    key = "flappy"
+    # One long flap (down > retry timeout) so at least one retry is forced
+    # to route against freshly re-synced tables.
+    schedule = FaultSchedule.rule_flap(
+        key=key, at=1.0, down_s=2.5 * cluster.config.client_retry_timeout_s,
+        times=1,
+    )
+
+    def driver(sim):
+        r = yield client.put(key, "v-flap", 1000)
+        assert r.ok
+        yield sim.timeout(1.2 - sim.now)  # inside the down window
+        result = yield client.get(key, max_retries=3)
+        return result
+
+    ChaosEngine(cluster, schedule, seed=7).start()
+    result = run_driver(cluster, driver(cluster.sim), until=120.0)
+    assert result.ok
+    assert result.value == "v-flap"
+    routes = resolved_routes(tracer, key)
+    # Every attempt re-resolved; no two attempts shared a flow identity.
+    assert len(routes) == result.retries + 1
+    assert len(set(routes)) == len(routes)
