@@ -28,6 +28,7 @@ from ..chaos import ChaosEngine, FaultSchedule, controlplane_schedules, standard
 from ..check import (
     CheckLimitExceeded,
     HistoryRecorder,
+    check_durable,
     check_linearizable,
     check_monotonic,
 )
@@ -43,6 +44,10 @@ __all__ = [
     "run_case",
     "chaos_cell",
     "harmonia_midput_cell",
+    "durability_cell",
+    "torn_wal_cell",
+    "bit_rot_cell",
+    "fail_slow_cell",
 ]
 
 #: Schedule-suite key the sweep builds its schedules under.
@@ -112,6 +117,17 @@ MODES: Dict[str, Dict] = {
         loss_fragile=False,
         overrides=dict(protocol_mode="harmonia-weak"),
     ),
+    # Durability-only mode (DESIGN.md §5k): acks race the flush.  Never
+    # part of the linearizability matrix — it exists so the power-blackout
+    # cell can prove the acked-durability checker catches ack-before-
+    # durable holes.
+    "nice-waloff": dict(
+        system="nice",
+        expect_violation=True,
+        loss_fragile=False,
+        durability_only=True,
+        overrides=dict(wal_forced=False),
+    ),
 }
 
 #: Cluster shrunk for sweep speed; semantics (R=3, one partition under
@@ -156,18 +172,28 @@ def _schedule_by_name(key: str, name: str) -> FaultSchedule:
     return _schedule_suite(key, [name])[0]
 
 
-def _workload(cluster, recorder: HistoryRecorder, keys: List[str], duration: float, seed: int):
+def _workload(
+    cluster,
+    recorder: HistoryRecorder,
+    keys: List[str],
+    duration: float,
+    seed: int,
+    put_until: Optional[float] = None,
+):
     """One paced writer + dedicated readers, values globally unique.
 
     The split matters: a writer whose put times out stalls for seconds
     (client retry backoff), and if every client mixed puts and gets the
     whole workload would stall inside the fault window — exactly when
-    reads must keep probing replicas for stale data."""
+    reads must keep probing replicas for stale data.  ``put_until`` cuts
+    the writer early (durability cells stop writing at the power failure,
+    so the surviving state is judged against pre-blackout acked puts)."""
     sim = cluster.sim
+    put_until = duration if put_until is None else put_until
 
     def writer(client, stream: np.random.Generator):
         seq = 0
-        while sim.now < duration:
+        while sim.now < put_until:
             yield sim.timeout(stream.exponential(0.03))
             seq += 1
             key = keys[seq % len(keys)]
@@ -431,6 +457,228 @@ def harmonia_midput_cell(mode: str, seed: int) -> Dict:
     }
 
 
+def _final_values(cluster, keys: List[str]) -> Dict[str, object]:
+    """Post-run surviving value per key, read from each key's acting
+    primary store (the replica clients would be routed to)."""
+    finals: Dict[str, object] = {}
+    for key in keys:
+        rs = cluster.partition_map.get(cluster.uni_vring.subgroup_of_key(key))
+        node = cluster.nodes.get(rs.primary)
+        obj = node.store.get(key) if node is not None else None
+        if obj is not None:
+            finals[key] = obj.value
+    return finals
+
+
+def _node_durability_stats(cluster) -> Dict[str, int]:
+    """Aggregate §5k counters across the cluster's storage nodes."""
+    nodes = list(cluster.nodes.values())
+    return {
+        "torn_records": sum(n.wal.torn_records for n in nodes),
+        "lost_records": sum(n.wal.lost_records for n in nodes),
+        "resurrected_records": sum(n.wal.resurrected_records for n in nodes),
+        "cold_restarts": sum(n.cold_restarts.value for n in nodes),
+        "replayed_commits": sum(n.replayed_commits.value for n in nodes),
+        "power_losses": sum(n.disk.power_losses.value for n in nodes),
+        "scrub_scans": sum(n.scrub_scans.value for n in nodes),
+        "scrub_repairs": sum(n.scrub_repairs.value for n in nodes),
+        "read_repairs": sum(n.read_repairs.value for n in nodes),
+        "corruptions": sum(n.store.corruptions for n in nodes),
+    }
+
+
+def _durability_row(
+    mode: str, schedule: str, seed: int, cluster, recorder: HistoryRecorder,
+    events: List, keys: List[str],
+) -> Dict:
+    """Common tail of every durability cell: verify the history (staleness
+    screen + exact check + acked-durability against the surviving stores)
+    and assemble the JSON row."""
+    mono = check_monotonic(recorder.ops)
+    lin = check_linearizable(recorder.ops)
+    linearizable, core, reason = lin.ok, lin.violation, lin.reason
+    if not mono.ok and linearizable:
+        linearizable, core, reason = False, mono.violation, mono.reason
+    durable = check_durable(recorder.ops, _final_values(cluster, keys))
+    row = {
+        "family": "durability",
+        "standbys": 0,
+        "mode": mode,
+        "schedule": schedule,
+        "has_loss": False,
+        "seed": seed,
+        "n_ops": len(recorder.ops),
+        "ok_ops": sum(1 for op in recorder.ops if op.ok),
+        "failed_ops": sum(1 for op in recorder.ops if op.completed and not op.ok),
+        "pending_ops": len(recorder.pending()),
+        "linearizable": bool(linearizable),
+        "monotonic_ok": bool(mono.ok),
+        "inconclusive": False,
+        "states": lin.states,
+        "chaos_events": [[t, label] for t, label in events],
+        "violation": [str(op) for op in core],
+        "reason": reason,
+        "durable": bool(durable.ok),
+        "durability_reason": durable.reason,
+        "durable_keys_checked": len(durable.checked_keys),
+    }
+    row.update(_node_durability_stats(cluster))
+    return row
+
+
+def durability_cell(mode: str, schedule: str, seed: int, duration: float = 10.0) -> Dict:
+    """Whole-cluster power loss under live traffic (§4.4, Complete Cluster
+    Failure): every node drops volatile state *and* its unflushed disk
+    cache, then cold-restarts from the durable image + WAL replay.  For
+    the honest mode every acked put must survive; for ``nice-waloff``
+    (acks race the flush) the acked-durability checker must catch losses.
+    """
+    cluster = _build(mode, seed)
+    keys = keys_in_partition(0, cluster.config.n_partitions, 3)
+    recorder = HistoryRecorder()
+    sched = rebuild_for_key(_durability_schedule(schedule), keys[0])
+    blackout_at = min(ev.at for ev in sched)
+    _workload(cluster, recorder, keys, duration, seed, put_until=blackout_at)
+    engine = ChaosEngine(cluster, sched, seed=seed)
+    engine.start()
+    cluster.sim.run(until=duration)
+    return _durability_row(mode, sched.name, seed, cluster, recorder, engine.events, keys)
+
+
+def _durability_schedule(name: str) -> FaultSchedule:
+    from ..chaos import durability_schedules
+
+    suite = durability_schedules(SCHEDULE_KEY)
+    if name not in suite:
+        raise ValueError(f"unknown durability schedule {name!r}; have {sorted(suite)}")
+    return suite[name]
+
+
+def torn_wal_cell(seed: int) -> Dict:
+    """Directed torn-tail cell: power-fail one secondary in the exact
+    window where a WAL append has completed its transfer but no flush
+    covers it yet.  The replayed log must truncate the torn frame (never
+    a phantom or corrupt record) and every acked put must still be
+    readable once the node rejoins."""
+    cluster = build_nice(**CLUSTER_KW, seed=seed)
+    sim = cluster.sim
+    recorder = HistoryRecorder()
+    for client in cluster.clients:
+        client.recorder = recorder
+    keys = keys_in_partition(0, cluster.config.n_partitions, 2)
+    rs = cluster.partition_map.get(0)
+    victim = next(m for m in rs.members if m != rs.primary)
+    node = cluster.nodes[victim]
+    events: List = []
+
+    def crash_mid_append():
+        # An append is vulnerable from transfer completion until the
+        # flush cycle covers it (~flush latency): poll well inside that.
+        while node.wal.unflushed_appends() == 0:
+            yield sim.timeout(5e-6)
+        node.crash(power_loss=True)
+        events.append([sim.now, f"{victim} power-fails mid-append (torn tail)"])
+
+    c0 = cluster.clients[0]
+
+    def driver():
+        for key in keys:  # a durable base round first
+            yield c0.put(key, f"base:{key}", 1000)
+        sim.process(crash_mid_append())
+        seq = 0
+        while not events and sim.now < 5.0:
+            seq += 1
+            yield c0.put(keys[seq % len(keys)], f"v{seq}", 1000, max_retries=0)
+        yield sim.timeout(3.0)  # let the metadata service declare the node
+        events.append([sim.now, f"{victim} restarts"])
+        proc = node.restart()
+        if proc is not None:
+            yield proc
+            events.append([sim.now, f"{victim} consistent"])
+        for key in keys:
+            yield c0.get(key, max_retries=1)
+
+    proc = sim.process(driver())
+    sim.run(until=30.0)
+    if not proc.triggered:
+        raise RuntimeError("torn-WAL driver did not finish")
+    return _durability_row("nice", "torn_wal", seed, cluster, recorder, events, keys)
+
+
+def bit_rot_cell(seed: int, duration: float = 8.0) -> Dict:
+    """Silent corruption vs scrub-and-repair: rot 4 of 6 stored objects on
+    a secondary — most of them *cold* (written once, never read), so only
+    the background scrubber can find them.  No client may ever observe a
+    corrupted value, and by the end of the run every store must verify."""
+    cluster = build_nice(**CLUSTER_KW, seed=seed, scrub_interval_s=1.0)
+    sim = cluster.sim
+    recorder = HistoryRecorder()
+    for client in cluster.clients:
+        client.recorder = recorder
+    keys = keys_in_partition(0, cluster.config.n_partitions, 6)
+    hot = keys[0]
+    c0, c1 = cluster.clients[0], cluster.clients[1]
+
+    def writer():
+        for i, key in enumerate(keys):
+            yield c0.put(key, f"init:{i}", 1000)
+
+    def reader():
+        while sim.now < duration:
+            yield sim.timeout(0.03)
+            yield c1.get(hot, max_retries=1)
+
+    sim.process(writer())
+    sim.process(reader())
+    sched = rebuild_for_key(FaultSchedule.bit_rot(SCHEDULE_KEY, count=4), keys[0])
+    engine = ChaosEngine(cluster, sched, seed=seed)
+    engine.start()
+    sim.run(until=duration)
+
+    remaining = sum(
+        1
+        for node in cluster.nodes.values()
+        for name in node.store.names()
+        if not node.store.verify(node.store.get(name))
+    )
+    bitrot_served = sum(
+        1
+        for op in recorder.ops
+        if op.kind == "get"
+        and isinstance(op.value, tuple)
+        and op.value
+        and op.value[0] == "\x00bitrot"
+    )
+    row = _durability_row("nice", "bit_rot", seed, cluster, recorder, engine.events, keys)
+    row["remaining_corrupt"] = remaining
+    row["bitrot_served"] = bitrot_served
+    return row
+
+
+def fail_slow_cell(seed: int, duration: float = 10.0) -> Dict:
+    """Fail-slow disk under the harmonia read path: the primary's device
+    runs 8× slow.  The obs-layer health signal must flag it within a few
+    heartbeats, the metadata service must drain it from the read
+    round-robin and hand the primary role off, and the history must stay
+    linearizable throughout; after the heal the node is restored."""
+    cluster = build_nice(**CLUSTER_KW, seed=seed, protocol_mode="harmonia")
+    keys = keys_in_partition(0, cluster.config.n_partitions, 3)
+    recorder = HistoryRecorder()
+    _workload(cluster, recorder, keys, duration, seed)
+    sched = rebuild_for_key(FaultSchedule.fail_slow(SCHEDULE_KEY), keys[0])
+    engine = ChaosEngine(cluster, sched, seed=seed)
+    engine.start()
+    cluster.sim.run(until=duration)
+    meta = cluster.metadata_active
+    row = _durability_row(
+        "harmonia", "fail_slow", seed, cluster, recorder, engine.events, keys
+    )
+    row["failslow_detections"] = meta.failslow_detections.value
+    row["failslow_handoffs"] = meta.failslow_handoffs.value
+    row["degraded_after"] = sorted(meta.degraded)
+    return row
+
+
 def run_suite(
     seeds: int = 5,
     baseline_seeds: int = 2,
@@ -449,22 +697,30 @@ def run_suite(
     every case payload are identical to a sequential run.
     """
     cp_names = sorted(controlplane_schedules(SCHEDULE_KEY))
+    dur_names = ["power_blackout", "torn_wal", "bit_rot", "fail_slow"]
     if smoke:
         seeds, baseline_seeds, duration = 2, 1, 8.0
         modes = modes or ["nice", "rac-2pc", "rac-weak", "harmonia", "harmonia-weak"]
         schedules = schedules or [
             "crash_rejoin", "partition_rejoin", "primary_crash", *cp_names,
+            *dur_names,
         ]
-    modes = modes or list(MODES)
+    # Durability-only modes (nice-waloff) never join the matrix product;
+    # the durability cell plan below instantiates them directly.
+    modes = modes or [m for m in MODES if not MODES[m].get("durability_only")]
     # ``schedules`` spans both families: names from the control-plane
     # family select HA cells, the rest the standard suite.  ``None``
     # means everything.
     if schedules is None:
         std_names: Optional[List[str]] = None
         cp_selected = cp_names
+        dur_selected = dur_names
     else:
-        std_names = [n for n in schedules if n not in cp_names]
+        std_names = [
+            n for n in schedules if n not in cp_names and n not in dur_names
+        ]
         cp_selected = [n for n in cp_names if n in schedules]
+        dur_selected = [n for n in dur_names if n in schedules]
     # Harmonia modes get their own cell plan below: the honest mode runs
     # the standard suite plus the rule_flap schedule (its read rules are
     # flow state the flap attacks), the weak mode runs the directed
@@ -513,6 +769,28 @@ def run_suite(
             for name in cp_selected
             for seed in range(1, seeds + 1)
         ]
+    # The durability family (§5k): power blackout for the honest mode and
+    # the weakened wal=off variant, the directed torn-tail cell, bit-rot
+    # vs the scrubber, and the fail-slow drain (harmonia read path).
+    if "nice" in modes and dur_selected:
+        d_dur = max(duration, 10.0)
+        d_seeds = range(1, baseline_seeds + 1)
+        if "power_blackout" in dur_selected:
+            cells += [
+                Cell(
+                    durability_cell,
+                    dict(mode=mode, schedule="power_blackout", duration=d_dur),
+                    seed=seed,
+                )
+                for mode in ("nice", "nice-waloff")
+                for seed in d_seeds
+            ]
+        if "torn_wal" in dur_selected:
+            cells += [Cell(torn_wal_cell, {}, seed=seed) for seed in d_seeds]
+        if "bit_rot" in dur_selected:
+            cells += [Cell(bit_rot_cell, {}, seed=seed) for seed in d_seeds]
+        if "fail_slow" in dur_selected:
+            cells += [Cell(fail_slow_cell, {}, seed=seed) for seed in d_seeds]
     cases: List[Dict] = run_cells(cells)
     cell_records = drain_records()
 
@@ -521,7 +799,8 @@ def run_suite(
     for mode in modes:
         rows = [
             c for c in cases
-            if c["mode"] == mode and c.get("family") != "controlplane"
+            if c["mode"] == mode
+            and c.get("family") not in ("controlplane", "durability")
         ]
         violations = [c for c in rows if not c["linearizable"]]
         tolerated = [
@@ -574,7 +853,10 @@ def run_suite(
                 failures.append(
                     f"{tag}: settled cluster still needed repair: {cp['steady_reconcile']}"
                 )
-    h_rows = [c for c in cases if c["mode"].startswith("harmonia")]
+    h_rows = [
+        c for c in cases
+        if c["mode"].startswith("harmonia") and c.get("family") != "durability"
+    ]
     harmonia_verdict = None
     if h_rows:
         safe_rows = [c for c in h_rows if c["mode"] == "harmonia"]
@@ -598,8 +880,64 @@ def run_suite(
             ),
             "dirty_set": dirty,
         }
+    d_rows = [c for c in cases if c.get("family") == "durability"]
+    durability_verdict = None
+    if d_rows:
+        honest = [c for c in d_rows if c["mode"] != "nice-waloff"]
+        weak = [c for c in d_rows if c["mode"] == "nice-waloff"]
+        durability_verdict = {
+            "cells": len(d_rows),
+            "acked_lost": sum(1 for c in honest if not c["durable"]),
+            "torn_detected": sum(c["torn_records"] for c in d_rows),
+            "scrub_repairs": sum(c["scrub_repairs"] for c in d_rows),
+            "failslow_detected": any(
+                c.get("failslow_detections", 0) > 0 for c in d_rows
+            ),
+            "failslow_handoffs": sum(
+                c.get("failslow_handoffs", 0) for c in d_rows
+            ),
+            "weak_cases": len(weak),
+            "weak_caught": bool(weak)
+            and all(not c["durable"] for c in weak),
+        }
+        for c in honest:
+            tag = f"durability/{c['schedule']}/seed{c['seed']}"
+            if not c["durable"]:
+                failures.append(
+                    f"{tag}: acked put lost: {c['durability_reason']}"
+                )
+            if not c["linearizable"]:
+                failures.append(f"{tag}: unexpected violation: {c['reason']}")
+            if c["schedule"] == "torn_wal" and not c["torn_records"]:
+                failures.append(f"{tag}: crash mid-append left no torn tail")
+            if c["schedule"] == "bit_rot":
+                if not c["scrub_repairs"]:
+                    failures.append(f"{tag}: scrubber repaired nothing")
+                if c.get("remaining_corrupt"):
+                    failures.append(
+                        f"{tag}: {c['remaining_corrupt']} objects still corrupt"
+                    )
+                if c.get("bitrot_served"):
+                    failures.append(
+                        f"{tag}: {c['bitrot_served']} corrupt values served"
+                    )
+            if c["schedule"] == "fail_slow":
+                if not c.get("failslow_detections"):
+                    failures.append(f"{tag}: fail-slow disk never detected")
+                if not c.get("failslow_handoffs"):
+                    failures.append(f"{tag}: degraded primary never handed off")
+                if c.get("degraded_after"):
+                    failures.append(
+                        f"{tag}: still degraded after heal: {c['degraded_after']}"
+                    )
+        for c in weak:
+            if c["durable"]:
+                failures.append(
+                    f"durability/{c['schedule']}/seed{c['seed']}: "
+                    "wal=off acked losses escaped detection"
+                )
     report = {
-        "schema_version": 4,
+        "schema_version": 5,
         "suite": "chaos",
         "smoke": smoke,
         "duration_s_per_case": duration,
@@ -613,6 +951,8 @@ def run_suite(
     }
     if harmonia_verdict is not None:
         report["harmonia"] = harmonia_verdict
+    if durability_verdict is not None:
+        report["durability"] = durability_verdict
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -651,6 +991,15 @@ def format_report(report: Dict) -> str:
             f"({h['safe_violations']} violations), weak caught: "
             f"{h['weak_caught']} over {h['weak_cases']} cases, "
             f"{h['directed_cells']} directed mid-put cells"
+        )
+    d = report.get("durability")
+    if d:
+        lines.append(
+            f"  durability: {d['cells']} cells, {d['acked_lost']} acked losses, "
+            f"{d['torn_detected']} torn records, {d['scrub_repairs']} scrub "
+            f"repairs, fail-slow detected: {d['failslow_detected']} "
+            f"({d['failslow_handoffs']} handoffs), wal=off caught: "
+            f"{d['weak_caught']} over {d['weak_cases']} cells"
         )
     lines.append("")
     lines.append("PASS" if report["passed"] else "FAIL:")

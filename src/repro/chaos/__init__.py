@@ -18,6 +18,7 @@ from .schedule import (
     FaultEvent,
     FaultSchedule,
     controlplane_schedules,
+    durability_schedules,
     standard_schedules,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "controlplane_schedules",
+    "durability_schedules",
     "standard_schedules",
 ]

@@ -404,3 +404,98 @@ class ChaosEngine:
 
         self.sim.call_in(duration, restore)
         self._mark(f"controller stalled to {latency_s * 1e3:g}ms for {duration:g}s")
+
+    # -- durability faults (DESIGN.md §5k) ---------------------------------------------
+    def _do_disk_slow(self, event: FaultEvent) -> None:
+        """Fail-slow disk: service times scaled by ``factor``; the device
+        keeps answering, so only the health signal can expose it."""
+        name = self._resolve_node(event.target, bind="bind")
+        if name is None or not self.cluster.nodes[name].host.up:
+            self._mark(f"disk_slow skipped ({event.target})")
+            return
+        factor = float(event.param("factor", 8.0))
+        self.cluster.nodes[name].disk.set_degraded(factor)
+        self._mark(f"{name} disk {factor:g}x slow")
+
+    def _do_disk_heal(self, event: FaultEvent) -> None:
+        name = self._resolve_node(event.target, bind="unbind")
+        if name is None:
+            self._mark(f"disk_heal skipped ({event.target})")
+            return
+        self.cluster.nodes[name].disk.set_degraded(1.0)
+        self._mark(f"{name} disk healed")
+
+    def _do_disk_corrupt(self, event: FaultEvent) -> None:
+        """Silent bit-rot: flip ``count`` stored objects on the target.
+        Checksums are untouched, so reads and scrubs can detect the rot."""
+        name = self._resolve_node(event.target)  # no recovery pair; no binding
+        if name is None or not self.cluster.nodes[name].host.up:
+            self._mark(f"disk_corrupt skipped ({event.target})")
+            return
+        store = self.cluster.nodes[name].store
+        names = sorted(store.names())
+        if not names:
+            self._mark(f"disk_corrupt skipped ({name}: empty store)")
+            return
+        count = min(int(event.param("count", 1)), len(names))
+        rng = self._stream()
+        picks = [names[i] for i in rng.choice(len(names), size=count, replace=False)]
+        rotted = sum(1 for key in picks if store.corrupt(key))
+        self._mark(f"{name} bit-rot in {rotted} objects")
+
+    def _do_power_failure(self, event: FaultEvent) -> None:
+        """Whole-cluster power loss: every up storage node crashes *with*
+        its disk's volatile write cache (torn-tail appends included), and
+        the controller channel goes dark.  The metadata membership state
+        is modeled as durable (§4.4's recovery assumes the log survives;
+        with standbys the HA leader crashes too and must replay it)."""
+        downed: List[str] = []
+        for name in sorted(self.cluster.nodes):
+            node = self.cluster.nodes[name]
+            if node.host.up:
+                node.crash(power_loss=True)
+                downed.append(name)
+        self._bound.setdefault("power", []).append(downed)
+        ha = getattr(self.cluster, "metadata_ha", None)
+        leader = ha.leader if ha is not None else None
+        if leader is not None and leader.host.up:
+            leader.crash()
+            self._bound.setdefault("meta", []).append(leader.host.name)
+        control_plane = getattr(self.cluster, "control_plane", None)
+        if control_plane is not None and hasattr(control_plane, "set_down"):
+            control_plane.set_down(True)
+        self._mark(f"power failure ({len(downed)} nodes dark)")
+
+    def _do_power_restore(self, event: FaultEvent) -> None:
+        """Power returns: control plane first, then the storage nodes
+        restart staggered by ``stagger_s`` — each cold-restarts from its
+        durable disk image + WAL replay, then runs the two-phase rejoin."""
+        fifo = self._bound.get("power")
+        downed = fifo.pop(0) if fifo else []
+        control_plane = getattr(self.cluster, "control_plane", None)
+        if control_plane is not None and hasattr(control_plane, "set_down"):
+            control_plane.set_down(False)
+        ha = getattr(self.cluster, "metadata_ha", None)
+        meta_fifo = self._bound.get("meta")
+        if ha is not None and meta_fifo:
+            replica = ha.replica_named(meta_fifo.pop(0))
+            if replica is not None:
+                replica.recover()
+                self._mark(f"{replica.host.name} (metadata replica) rejoins")
+        stagger = float(event.param("stagger_s", 0.25))
+        for i, name in enumerate(downed):
+            def boot(name=name):
+                node = self.cluster.nodes[name]
+                self._mark(f"{name} cold restart")
+                proc = node.restart()
+                if proc is not None:
+                    def done(_=None, name=name):
+                        self._mark(f"{name} consistent")
+
+                    self.sim.process(self._await(proc, done))
+
+            if i == 0:
+                boot()
+            else:
+                self.sim.call_in(i * stagger, boot)
+        self._mark(f"power restored ({len(downed)} nodes booting)")

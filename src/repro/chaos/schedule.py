@@ -36,6 +36,18 @@ Event kinds (see the engine for exact semantics):
                    clusters only; target ``"rack:<idx>"``)
 ``rack_heal``      restore the rack's uplinks and two-phase-rejoin every
                    node the metadata service declared failed meanwhile
+``disk_slow``      degrade the target node's disk by ``factor`` (fail-slow
+                   fault: the device still works, just slower)
+``disk_heal``      restore the disk's factory service times
+``disk_corrupt``   silently flip bits in ``count`` stored objects on the
+                   target node (bit-rot; checksums catch it on read/scrub)
+``power_failure``  whole-cluster power loss: every up node crashes with
+                   volatile state *and* unflushed disk caches discarded;
+                   the metadata leader and controller channel go dark too
+``power_restore``  power returns: controller + metadata first, then the
+                   storage nodes restart staggered by ``stagger_s``; each
+                   cold-restarts from its durable image + WAL replay (§4.4
+                   complete-cluster-failure recovery)
 =================  ==========================================================
 
 Targets are symbolic and resolved by the engine *at fire time* (membership
@@ -55,6 +67,7 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "controlplane_schedules",
+    "durability_schedules",
     "standard_schedules",
 ]
 
@@ -274,6 +287,65 @@ class FaultSchedule:
         )
 
     @staticmethod
+    def power_blackout(
+        fail_at: float = 3.0, restore_at: float = 5.0, stagger_s: float = 0.25
+    ) -> "FaultSchedule":
+        """Complete cluster power failure (§4.4, Complete Cluster Failure).
+
+        Every node loses volatile state *and* its disk's unflushed write
+        cache — only flushed (forced + flush-covered) bytes survive.  On
+        restore, nodes cold-restart from the durable image + WAL replay;
+        every acknowledged put must still be readable."""
+        return FaultSchedule(
+            "power_blackout",
+            (
+                FaultEvent.make(fail_at, "power_failure"),
+                FaultEvent.make(restore_at, "power_restore", stagger_s=stagger_s),
+            ),
+            "whole-cluster power loss; staggered cold restart from durable state",
+        )
+
+    @staticmethod
+    def bit_rot(
+        key: str, at: float = 2.5, count: int = 4, target_role: str = "secondary"
+    ) -> "FaultSchedule":
+        """Silent on-disk corruption of stored objects on one replica.
+
+        Per-object checksums must catch the rot on the next read (read
+        path) or scrubber pass (cold data) and repair from a consistent
+        peer — no client may ever observe a corrupted value."""
+        return FaultSchedule(
+            "bit_rot",
+            (
+                FaultEvent.make(at, "disk_corrupt", f"{target_role}:{key}", count=count),
+            ),
+            f"silent bit-rot in {count} objects on the {target_role}; "
+            "checksums + scrub-and-repair must recover",
+        )
+
+    @staticmethod
+    def fail_slow(
+        key: str,
+        at: float = 1.5,
+        heal_at: float = 6.0,
+        factor: float = 8.0,
+        target_role: str = "primary",
+    ) -> "FaultSchedule":
+        """A fail-slow (gray-failure) disk: the device answers, just
+        ``factor``× slower.  The obs-layer health signal must flag it, the
+        metadata service must drain it from the read path and hand off the
+        primary role; on heal the node is restored."""
+        return FaultSchedule(
+            "fail_slow",
+            (
+                FaultEvent.make(at, "disk_slow", f"{target_role}:{key}", factor=factor),
+                FaultEvent.make(heal_at, "disk_heal", f"{target_role}:{key}"),
+            ),
+            f"disk {factor:g}x slower on the {target_role}; detector must "
+            "drain + hand off, then restore on heal",
+        )
+
+    @staticmethod
     def random(seed: int, key: str, horizon: float = 8.0, n_episodes: int = 3, nice_only_events: bool = False) -> "FaultSchedule":
         """A seeded random schedule of fault episodes.
 
@@ -353,5 +425,16 @@ def controlplane_schedules(key: str) -> Dict[str, FaultSchedule]:
         FaultSchedule.metadata_failover(),
         FaultSchedule.controller_outage(key),
         FaultSchedule.node_meta_crash(key),
+    ]
+    return {s.name: s for s in schedules}
+
+
+def durability_schedules(key: str) -> Dict[str, FaultSchedule]:
+    """The durability fault family (DESIGN.md §5k): power loss, bit-rot,
+    and fail-slow disks."""
+    schedules = [
+        FaultSchedule.power_blackout(),
+        FaultSchedule.bit_rot(key),
+        FaultSchedule.fail_slow(key),
     ]
     return {s.name: s for s in schedules}

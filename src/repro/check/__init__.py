@@ -12,11 +12,14 @@ decide from the history alone whether the guarantee held.
   per-key KV register model (exact, exponential worst case, memoized).
 * :func:`check_monotonic` — a cheap O(n log n) real-time staleness /
   monotonic-reads checker (necessary-condition screen for big histories).
+* :func:`check_durable` — acked-durability: every acknowledged put must
+  survive complete cluster power failure (Fig 3 / §4.4).
 
 Both checkers return a :class:`CheckResult` whose ``violation`` is a
 minimal violating subhistory for debugging.
 """
 
+from .durability import check_durable
 from .history import HistoryRecorder, Operation
 from .linearizability import CheckLimitExceeded, CheckResult, check_linearizable
 from .monotonic import check_monotonic
@@ -26,6 +29,7 @@ __all__ = [
     "CheckResult",
     "HistoryRecorder",
     "Operation",
+    "check_durable",
     "check_linearizable",
     "check_monotonic",
 ]

@@ -1,0 +1,102 @@
+"""Acked-durability checker: acknowledged puts survive power loss.
+
+Fig 3's durability contract — every write a put acknowledgment depends on
+sits behind a forced log append — implies a client-visible guarantee: once
+a put is acked, its effect must survive *complete cluster power failure*
+(§4.4, Complete Cluster Failure).  This checker decides, from the recorded
+op history plus the post-restart surviving value of each key, whether the
+guarantee held.
+
+Per key, let ``P`` be the acked put with the latest return stamp.  A put
+``Q`` is *admissible* as the surviving value unless it provably linearized
+before ``P``: an acked ``Q`` that returned before ``P`` was even invoked
+is ordered before ``P`` and cannot be the final state.  Everything else —
+``P`` itself, acked puts concurrent with or later than ``P``, and
+ambiguous puts (failed / timed out / pending at cut-off, whose effect may
+have landed anyway) — may legitimately be what the cluster recovers.
+
+A key with at least one acked put whose surviving value is missing or
+inadmissible is a durability violation: an acknowledged write was lost
+(the cluster rolled back past ``P``) or a phantom value appeared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Hashable, List, Optional, Tuple
+
+from .history import Operation
+from .linearizability import CheckResult
+
+__all__ = ["check_durable"]
+
+#: Sentinel for "the key did not survive" (distinct from surviving None).
+_MISSING = object()
+
+
+def _canon(value: Any) -> Hashable:
+    """Hashable canonical form so unhashable values can be compared."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def check_durable(
+    ops: Iterable[Operation],
+    final_values: Dict[str, Any],
+) -> CheckResult:
+    """Check every acked put against the post-restart surviving state.
+
+    ``final_values`` maps key -> the value the cluster serves (or stores)
+    for that key after the full restart; keys that did not survive are
+    simply absent.  Keys with no acked put are unconstrained (their puts
+    were all ambiguous, so any outcome — including loss — is legal).
+    """
+    by_key: Dict[str, List[Operation]] = {}
+    n_ops = 0
+    for op in ops:
+        n_ops += 1
+        if op.kind == "put":
+            by_key.setdefault(op.key, []).append(op)
+
+    checked: List[str] = []
+    for key in sorted(by_key):
+        puts = by_key[key]
+        acked = [p for p in puts if p.acked]
+        if not acked:
+            continue
+        checked.append(key)
+        last = max(acked, key=lambda p: p.return_ts)
+        admissible = {
+            _canon(p.value)
+            for p in puts
+            if not (p.acked and p.return_ts <= last.invoke_ts)
+        }
+        final = final_values.get(key, _MISSING)
+        if final is _MISSING:
+            return CheckResult(
+                ok=False,
+                n_ops=n_ops,
+                checked_keys=tuple(checked),
+                key=key,
+                violation=[last],
+                reason=(
+                    f"acked put {last.value!r} (returned t={last.return_ts:.6f}) "
+                    f"lost: key {key!r} missing after restart"
+                ),
+            )
+        if _canon(final) not in admissible:
+            return CheckResult(
+                ok=False,
+                n_ops=n_ops,
+                checked_keys=tuple(checked),
+                key=key,
+                violation=[last],
+                reason=(
+                    f"key {key!r} survived with {final!r}, but the last acked "
+                    f"put wrote {last.value!r} (returned t={last.return_ts:.6f}); "
+                    "an acknowledged write was rolled back"
+                ),
+            )
+    return CheckResult(ok=True, n_ops=n_ops, checked_keys=tuple(checked))

@@ -154,6 +154,25 @@ class ClusterConfig:
     #: switch (before replicas apply) — kept only so the chaos suite can
     #: prove the linearizability checker catches the stale-read window.
     protocol_mode: str = "nice"
+    #: Fig 3 durability contract (DESIGN.md §5k): every write a put ack
+    #: depends on sits behind a forced (flushed) log append.  ``False``
+    #: models the deliberately-weakened ``wal=off`` variant — appends
+    #: skip the flush, so acks race durability and a power failure loses
+    #: acknowledged puts; kept only so the chaos matrix can prove the
+    #: acked-durability checker catches it.
+    wal_forced: bool = True
+    #: Background scrubber cadence (seconds between full store walks that
+    #: re-verify object checksums and read-repair bit-rot from a
+    #: consistent replica).  0 (default) disables the scrubber entirely —
+    #: no process is spawned, keeping default runs bit-identical.
+    scrub_interval_s: float = 0.0
+    #: Fail-slow detector (§5k): a node reports its disk degraded once the
+    #: observed/nominal service-time ratio stays at or above
+    #: ``failslow_threshold`` for ``failslow_strikes`` consecutive
+    #: heartbeats; the metadata service then drains the node from the
+    #: read round-robin and, if it is a primary, hands the role off.
+    failslow_threshold: float = 4.0
+    failslow_strikes: int = 2
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -180,6 +199,14 @@ class ClusterConfig:
                 "protocol_mode must be 'nice', 'harmonia' or "
                 f"'harmonia-weak': {self.protocol_mode!r}"
             )
+        if self.scrub_interval_s < 0:
+            raise ValueError(f"scrub_interval_s must be >= 0: {self.scrub_interval_s}")
+        if self.failslow_threshold <= 1.0:
+            raise ValueError(
+                f"failslow_threshold must be > 1: {self.failslow_threshold}"
+            )
+        if self.failslow_strikes < 1:
+            raise ValueError(f"failslow_strikes must be >= 1: {self.failslow_strikes}")
         if self.metadata_standbys < 0:
             raise ValueError(f"metadata_standbys must be >= 0: {self.metadata_standbys}")
         if self.n_racks < 1:

@@ -175,6 +175,10 @@ class NiceControllerApp(ControllerApp):
         self._rack_prefixes: Dict[int, List[IPv4Network]] = {}
         self._leaf_of_rack: Dict[int, str] = {}
         self._spine_names: List[str] = []
+        #: Fail-slow nodes (§5k), as reported by the metadata service:
+        #: excluded from read round-robin / LB divisions (kept only as the
+        #: primary fallback until the primary handoff lands).
+        self.degraded: set = set()
 
     # -- incremental planner plumbing (DESIGN.md §5i) ---------------------------
     @property
@@ -197,6 +201,28 @@ class NiceControllerApp(ControllerApp):
         self._static_memo.clear()
         self._l3_index_memo = None
         self._topo_version += 1
+
+    def set_degraded(self, name: str, slow: bool = True) -> None:
+        """Drain (or restore) a fail-slow node in the read paths (§5k).
+        Degradation changes the desired rules without touching any
+        replica-set revision, so the plan cache must be dropped."""
+        if slow == (name in self.degraded):
+            return
+        if slow:
+            self.degraded.add(name)
+        else:
+            self.degraded.discard(name)
+        self.invalidate_plans()
+
+    def _read_targets(self, rs: ReplicaSet) -> list:
+        """Get-serving replicas: the consistent targets minus fail-slow
+        drains — except the primary, which must stay addressable as the
+        dirty-key / uncovered-division fallback until a handoff lands."""
+        return [
+            self.hosts[n]
+            for n in rs.get_targets()
+            if n in self.hosts and (n not in self.degraded or n == rs.primary)
+        ]
 
     def _bump_topology(self) -> None:
         self._topo_version += 1
@@ -550,7 +576,7 @@ class NiceControllerApp(ControllerApp):
         subgroup = self._uni_prefix(rs.partition)
         rules: List[Rule] = []
         primary = self.hosts.get(rs.primary)
-        targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
+        targets = self._read_targets(rs)
         if primary is None or not targets:
             return rules  # partition dark: no consistent replica reachable
         if self._harmonia_mode and len(targets) > 1:
@@ -727,7 +753,7 @@ class NiceControllerApp(ControllerApp):
             return rules
         uplink = [Output(info.uplink_port)]
         primary = self.hosts.get(rs.primary)
-        targets = [self.hosts[n] for n in rs.get_targets() if n in self.hosts]
+        targets = self._read_targets(rs)
         if primary is None or not targets:
             return rules
         if self._harmonia_mode and len(targets) > 1:

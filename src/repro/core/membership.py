@@ -102,6 +102,16 @@ class ReplicaSet:
         self.rev += 1
         self.handoffs.append(node)
 
+    def set_primary(self, node: str) -> bool:
+        """Hand the primary role to ``node`` (fail-slow drain, §5k): the
+        old primary stays a consistent member — its data is fine, only
+        its device is slow.  Returns whether anything changed."""
+        if node == self.primary or node not in self.members or node in self.absent:
+            return False
+        self.rev += 1
+        self.primary = node
+        return True
+
     def begin_rejoin(self, node: str) -> None:
         """Phase 1: put-visible only (still 'absent' for gets)."""
         if node not in self.members:

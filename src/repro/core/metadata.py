@@ -93,10 +93,15 @@ class MetadataService:
         #: Client IPs observed per partition (heartbeat workload stats, §4.5).
         self.client_stats: Dict[int, set] = {}
         self._handoff_rr = 0  # round-robin cursor for handoff selection
+        #: Nodes currently reporting a fail-slow disk (§5k); excluded from
+        #: the read round-robin and from primary/handoff selection.
+        self.degraded: set = set()
         self.failures_declared = Counter("meta.failures")
         self.rejoins_completed = Counter("meta.rejoins")
         self.membership_messages = Counter("meta.membership_msgs")
         self.reconcile_passes = Counter("meta.reconciles")
+        self.failslow_detections = Counter("meta.failslow_detections")
+        self.failslow_handoffs = Counter("meta.failslow_handoffs")
         if own_loops:
             self._hb_inbox = stack.udp_bind(META_PORT)
             self._ctl_inbox = stack.tcp.listen(META_PORT)
@@ -136,6 +141,9 @@ class MetadataService:
         self.last_heartbeat[node] = self.sim.now
         for partition, clients in (body.get("stats") or {}).items():
             self.client_stats.setdefault(partition, set()).update(clients)
+        slow = bool(body.get("disk_slow"))
+        if slow != (node in self.degraded):
+            self._set_degraded(node, slow)
 
     def handle_control(self, msg, body: dict):
         """One TCP control message; a generator (``yield from``-able by the
@@ -297,6 +305,45 @@ class MetadataService:
             self.controller.sync_partition(rs.partition, epoch=self.epoch)
             self._inform_replicas(rs)
         self._log_append("fail", node=node, slices=affected)
+
+    def _set_degraded(self, node: str, slow: bool) -> None:
+        """React to a node's fail-slow report (§5k).
+
+        The node stays a consistent replica — its data is fine, only its
+        device is slow — so it is *drained*, not failed: the controller
+        drops it from the read round-robin / LB divisions, and any
+        partition it leads is handed to a healthy replica (the primary
+        serves forwarded gets, reconciliation, and commit stamping; a
+        fail-slow primary throttles the whole partition)."""
+        if slow:
+            self.degraded.add(node)
+            self.failslow_detections.add()
+        else:
+            self.degraded.discard(node)
+        # Degradation changes desired rules without bumping membership
+        # revisions, so the controller must drop its plan cache.
+        self.controller.set_degraded(node, slow)
+        affected = self.partition_map.partitions_of(node)
+        for rs in affected:
+            if slow and rs.primary == node:
+                candidates = [
+                    m
+                    for m in rs.members
+                    if m != node
+                    and m not in rs.absent
+                    and m not in rs.joining
+                    and m not in self.degraded
+                    and self.status.get(m) == UP
+                ]
+                if candidates and rs.set_primary(candidates[0]):
+                    self.failslow_handoffs.add()
+            self.controller.sync_partition(rs.partition, epoch=self.epoch)
+            self._inform_replicas(rs)
+        self._log_append("degraded" if slow else "undegraded", node=node,
+                         slices=affected)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("failslow" if slow else "failslow_clear", "ctrl", node=node)
 
     def _select_handoff(self, rs: ReplicaSet) -> Optional[str]:
         eligible = self.partition_map.eligible_handoffs(rs.partition, self.live_nodes())

@@ -64,6 +64,10 @@ class _PendingPut:
     client_ts: float
     client_port: int
     role: str
+    #: Disk sequence of the object data write (W in Fig 3, not forced):
+    #: the committed object survives power loss only once a flush covers
+    #: this sequence — until then a committed WAL record resurrects it.
+    data_seq: int = 0
 
 
 @dataclass
@@ -121,7 +125,7 @@ class NiceStorageNode:
         self.cpu = Resource(sim, capacity=1, name=f"{name}.cpu")
         self.disk = Disk(sim, name=f"{name}.disk")
         self.store = ObjectStore()
-        self.wal = WriteAheadLog(self.disk)
+        self.wal = WriteAheadLog(self.disk, forced=config.wal_forced)
         self.locks = LockTable()
         self.replica_sets: Dict[int, ReplicaSet] = {}
         self.mc_sender = MulticastSender(self.stack)
@@ -153,16 +157,35 @@ class NiceStorageNode:
         self._rejoining = False
         self._clients_seen: Dict[int, set] = {}
         self._was_primary: Set[int] = set()
+        #: key → disk sequence of its latest object data write (W is not
+        #: forced); entries above the flush barrier are lost on power loss.
+        self._volatile: Dict[str, int] = {}
+        #: True after a power failure until the cold restart rebuilds the
+        #: store from the durable image + WAL replay (§4.4, §5k).
+        self._cold = False
+        # Fail-slow detector state (§5k): consecutive heartbeat windows
+        # whose disk service-time ratio met the threshold.
+        self._slow_strikes = 0
+        self.failslow = False
         self.puts_served = Counter(f"{name}.puts")
         self.gets_served = Counter(f"{name}.gets")
         self.gets_forwarded = Counter(f"{name}.gets_forwarded")
         self.aborts = Counter(f"{name}.aborts")
         self.membership_fenced = Counter(f"{name}.membership_fenced")
         self.meta_failovers = Counter(f"{name}.meta_failovers")
+        self.cold_restarts = Counter(f"{name}.cold_restarts")
+        self.replayed_commits = Counter(f"{name}.replayed_commits")
+        self.read_repairs = Counter(f"{name}.read_repairs")
+        self.scrub_scans = Counter(f"{name}.scrub_scans")
+        self.scrub_repairs = Counter(f"{name}.scrub_repairs")
         sim.process(self._put_loop())
         sim.process(self._get_loop())
         sim.process(self._node_loop())
         sim.process(self._heartbeat_loop())
+        if config.scrub_interval_s > 0:
+            # Opt-in: no scrubber process exists on default configs, so
+            # default event timelines are untouched.
+            sim.process(self._scrub_loop())
 
     # ------------------------------------------------------------------ identity
     @property
@@ -253,9 +276,18 @@ class NiceStorageNode:
             req.release()
 
     # ------------------------------------------------------------------ failure injection
-    def crash(self) -> None:
-        """Fail-stop: NIC dark, in-memory locks and 2PC state lost; the
-        disk (object store + WAL) survives (§4.4)."""
+    def crash(self, power_loss: bool = False) -> None:
+        """Fail-stop: NIC dark, in-memory locks and 2PC state lost.
+
+        A *process* crash (the default) leaves the disk alone — the
+        write cache sits below the failing software, exactly as an OS
+        page cache survives an application crash, so the object store
+        and WAL carry over (§4.4).  ``power_loss=True`` additionally
+        drops the disk's volatile cache (§5k): unflushed WAL appends are
+        torn or lost, volatile removals resurrect their records, and
+        object writes above the flush barrier vanish — the next
+        ``restart`` rebuilds from the durable image + WAL replay.
+        """
         self.host.fail()
         self.locks.clear()
         self._pending.clear()
@@ -266,6 +298,14 @@ class NiceStorageNode:
         # Forget primary roles: if re-promoted after restart, run the
         # log-driven reconciliation again (complete-cluster-failure path).
         self._was_primary.clear()
+        if power_loss:
+            barrier = self.disk.crash()
+            self.wal.power_loss()
+            for key, seq in self._volatile.items():
+                if seq > barrier:
+                    self.store.drop(key)
+            self._volatile.clear()
+            self._cold = True
 
     def restart(self) -> "Event":
         """Power on and run the two-phase rejoin; returns the rejoin Process."""
@@ -275,7 +315,32 @@ class NiceStorageNode:
         # slices — the rejoin reply carries them.
         self.replica_sets.clear()
         self._was_primary.clear()
+        if self._cold:
+            self._cold = False
+            self._cold_restart()
         return self.sim.process(self._rejoin())
+
+    def _cold_restart(self) -> None:
+        """Rebuild after power loss from what the platter holds (§4.4:
+        "the persistent logs on the nodes will identify the latest put
+        operations").  Committed WAL records re-apply to the store —
+        completing the −L the crash interrupted — while uncommitted ones
+        stay pending for the primary's lock reconciliation."""
+        self.cold_restarts.add()
+        for rec in self.wal.replay():
+            if not rec.committed:
+                continue
+            self.store.put(StoredObject(rec.key, rec.value, rec.size_bytes, rec.stamp))
+            self.wal.remove(rec.op_id)
+            self.replayed_commits.add()
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant(
+                "cold_restart", "node",
+                node=self.name,
+                wal_pending=len(self.wal),
+                torn=self.wal.torn_records,
+            )
 
     # ------------------------------------------------------------------ put path (Fig 3)
     def _put_loop(self):
@@ -338,7 +403,9 @@ class NiceStorageNode:
                     partition=partition,
                 )
             )
-            yield self.disk.write(body["size"], forced=False)
+            data_write = self.disk.write(body["size"], forced=False)
+            data_seq = self.disk.issued_seq
+            yield data_write
             if not self.host.up:
                 if span is not None:
                     span.end(status="crashed")
@@ -353,6 +420,7 @@ class NiceStorageNode:
                 client_ts=body["client_ts"],
                 client_port=body["client_port"],
                 role=my_role,
+                data_seq=data_seq,
             )
             self._pending[op_id] = pend
         finally:
@@ -544,6 +612,8 @@ class NiceStorageNode:
             self.store.put_handoff(obj)
         else:
             self.store.put(obj)
+            if pend.data_seq > 0 and not self.disk.is_durable(pend.data_seq):
+                self._volatile[pend.key] = pend.data_seq
         tr = self.sim.tracer
         if tr is not None:
             tr.instant("commit", "2pc", node=self.name, op=op_id, role=pend.role)
@@ -638,6 +708,12 @@ class NiceStorageNode:
                     span.end(status="forwarded_joining")
                 return
             obj = self.store.get(key)
+            if obj is not None and not self.store.verify(obj):
+                # Bit-rot (§5k): never serve a value that fails its
+                # checksum — read-repair from a consistent replica first.
+                obj = yield from self._read_repair(key, rs)
+                if obj is not None:
+                    self.read_repairs.add()
         yield from self._reply_get(body, obj)
         if span is not None:
             span.end(status="ok" if obj is not None else "miss")
@@ -717,6 +793,8 @@ class NiceStorageNode:
                 self.sim.process(self._on_fetch_handoff(msg, body))
             elif kind == "fetch_partition":
                 self.sim.process(self._on_fetch_partition(msg, body))
+            elif kind == "fetch_object":
+                self.sim.process(self._on_fetch_object(msg, body))
 
     def _record_ack(self, op_id: Tuple, node: str, phase: int) -> None:
         coord = self._coord.get(op_id)
@@ -863,6 +941,83 @@ class NiceStorageNode:
             },
             total,
         )
+
+    def _on_fetch_object(self, msg, body: dict):
+        """Serve a peer's read-repair: ship our copy of one object, but
+        only if it passes its own checksum — repair must never spread a
+        second replica's rot."""
+        obj = self.store.get(body["key"])
+        good = obj is not None and self.store.verify(obj)
+        if good:
+            yield self.disk.read(obj.size_bytes)
+        yield msg.conn.send(
+            {
+                "type": "object_data",
+                "token": body["token"],
+                "object": (obj.name, obj.value, obj.size_bytes, obj.stamp)
+                if good
+                else None,
+            },
+            (obj.size_bytes if good else 0) + ACK_BYTES,
+        )
+
+    def _read_repair(self, key: str, rs: ReplicaSet):
+        """Replace a checksum-failing local copy from a consistent replica
+        (§5k).  Returns the repaired object, or ``None`` when no peer
+        could supply a verified copy — in which case the rotten version
+        is dropped rather than ever served."""
+        for peer in rs.get_targets():
+            if peer == self.name:
+                continue
+            ip = self._peer_ip(peer)
+            if ip is None:
+                continue
+            reply = yield from self._request(
+                ip,
+                {"type": "fetch_object", "key": key},
+                REQUEST_BYTES,
+                reply_type="object_data",
+            )
+            if reply is None or reply.get("object") is None:
+                continue
+            name, value, size, stamp = reply["object"]
+            obj = StoredObject(name, value, size, stamp)
+            yield self.disk.write(size, forced=True)
+            self.store.repair(obj)
+            self._volatile.pop(key, None)
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.instant("read_repair", "node", node=self.name, key=key,
+                           source=peer)
+            return obj
+        self.store.drop(key)
+        self._volatile.pop(key, None)
+        return None
+
+    def _scrub_loop(self):
+        """Background scrubber (§5k, opt-in via ``scrub_interval_s``):
+        walk the store on a cadence, re-verify every object checksum, and
+        read-repair latent bit-rot before a client read ever trips on it."""
+        while True:
+            yield self.sim.timeout(self.config.scrub_interval_s)
+            if not self.host.up:
+                continue
+            for key in self.store.names():
+                if not self.host.up:
+                    break
+                obj = self.store.get(key)
+                if obj is None:
+                    continue
+                self.scrub_scans.add()
+                yield self.disk.read(obj.size_bytes)
+                if self.store.verify(obj):
+                    continue
+                rs = self.replica_sets.get(self.uni.subgroup_of_key(key))
+                if rs is None:
+                    continue
+                repaired = yield from self._read_repair(key, rs)
+                if repaired is not None:
+                    self.scrub_repairs.add()
 
     def _catch_up(self, rs: ReplicaSet):
         """New-replica catch-up: fetch the hash range from the primary,
@@ -1044,10 +1199,36 @@ class NiceStorageNode:
                 continue
             stats = {p: sorted(c) for p, c in self._clients_seen.items()}
             self._clients_seen.clear()
+            # Fail-slow detector (§5k): strikes accumulate while the
+            # observed/nominal disk service-time ratio holds at or above
+            # the threshold; one healthy window clears them (hysteresis).
+            # Piggybacks the existing heartbeat — payload keys ride in the
+            # same HEARTBEAT_BYTES datagram, so timing is unchanged.
+            ratio = self.disk.consume_service_ratio()
+            if ratio is not None:
+                if ratio >= self.config.failslow_threshold:
+                    self._slow_strikes += 1
+                    if self._slow_strikes >= self.config.failslow_strikes:
+                        self.failslow = True
+                else:
+                    self._slow_strikes = 0
+                    self.failslow = False
+            # Bound the volatile-object map: entries at or below the flush
+            # barrier are durable and no longer need tracking.
+            if self._volatile:
+                barrier = self.disk.durable_seq
+                for key in [k for k, s in self._volatile.items() if s <= barrier]:
+                    del self._volatile[key]
             self.stack.udp_send(
                 self.metadata_ip,
                 META_PORT,
-                {"type": "hb", "node": self.name, "stats": stats},
+                {
+                    "type": "hb",
+                    "node": self.name,
+                    "stats": stats,
+                    "disk_slow": self.failslow,
+                    "disk_ratio": 1.0 if ratio is None else ratio,
+                },
                 HEARTBEAT_BYTES,
             )
 

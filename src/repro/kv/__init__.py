@@ -4,9 +4,9 @@ write-ahead log, locks and put timestamps."""
 from .disk import Disk
 from .hashring import RING_BITS, RING_SIZE, ConsistentHashRing, key_hash
 from .locks import LockTable
-from .store import ObjectStore, StoredObject
+from .store import ObjectStore, StoredObject, object_checksum
 from .timestamps import PutStamp
-from .wal import LogRecord, WriteAheadLog
+from .wal import LogRecord, WriteAheadLog, decode_log, encode_record
 
 __all__ = [
     "ConsistentHashRing",
@@ -19,5 +19,8 @@ __all__ = [
     "RING_SIZE",
     "StoredObject",
     "WriteAheadLog",
+    "decode_log",
+    "encode_record",
     "key_hash",
+    "object_checksum",
 ]

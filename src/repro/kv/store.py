@@ -8,12 +8,19 @@ directory") so recovery can enumerate exactly what the failed node missed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from .timestamps import PutStamp
 
-__all__ = ["StoredObject", "ObjectStore"]
+__all__ = ["StoredObject", "ObjectStore", "object_checksum"]
+
+
+def object_checksum(name: str, value: object) -> int:
+    """Content checksum stored alongside each object (DESIGN.md §5k);
+    bit-rot is any stored value that no longer matches it."""
+    return zlib.crc32(repr((name, value)).encode("utf-8", "replace")) & 0xFFFFFFFF
 
 
 @dataclass
@@ -24,6 +31,13 @@ class StoredObject:
     value: object
     size_bytes: int
     stamp: Optional[PutStamp]
+    #: Computed at construction; never recomputed on mutation, so a
+    #: corrupted value is detectable by :meth:`ObjectStore.verify`.
+    checksum: int = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            self.checksum = object_checksum(self.name, self.value)
 
     def newer_than(self, other: Optional["StoredObject"]) -> bool:
         if other is None or other.stamp is None:
@@ -39,6 +53,7 @@ class ObjectStore:
     def __init__(self) -> None:
         self._objects: Dict[str, StoredObject] = {}
         self._handoff: Dict[str, StoredObject] = {}
+        self.corruptions = 0
 
     # -- primary namespace -----------------------------------------------------
     def put(self, obj: StoredObject) -> None:
@@ -71,6 +86,28 @@ class ObjectStore:
 
     def clear(self) -> None:
         self._objects.clear()
+
+    # -- integrity (§5k) -------------------------------------------------------
+    @staticmethod
+    def verify(obj: StoredObject) -> bool:
+        """Whether ``obj``'s bytes still match its stored checksum."""
+        return obj.checksum == object_checksum(obj.name, obj.value)
+
+    def corrupt(self, name: str) -> bool:
+        """Inject bit-rot: silently damage the stored value without
+        touching the checksum (the chaos ``disk_corrupt`` fault)."""
+        obj = self._objects.get(name)
+        if obj is None:
+            return False
+        obj.value = ("\x00bitrot", obj.value)
+        self.corruptions += 1
+        return True
+
+    def repair(self, obj: StoredObject) -> None:
+        """Replace a damaged version with a verified replica copy —
+        unconditional, unlike :meth:`put` (same stamp, so ``newer_than``
+        would refuse)."""
+        self._objects[obj.name] = obj
 
     # -- handoff namespace --------------------------------------------------------
     def put_handoff(self, obj: StoredObject) -> None:

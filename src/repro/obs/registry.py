@@ -133,6 +133,33 @@ class MetricsRegistry:
         )
         for name, node in sorted(items):
             reg.collect_object(node, f"{p}node.{name}")
+            # Disk health (DESIGN.md §5k): durability barrier, unflushed
+            # window, degradation and WAL recovery counters — the obs feed
+            # the fail-slow detector and the durability chaos cells read.
+            disk = getattr(node, "disk", None)
+            if disk is not None:
+                base = f"{p}node.{name}.disk"
+                reg.collect_object(disk, base)
+                reg.gauge(f"{base}.dirty_bytes", lambda d=disk: d.dirty_bytes)
+                reg.gauge(f"{base}.durable_seq", lambda d=disk: d.durable_seq)
+                reg.gauge(
+                    f"{base}.degraded_factor", lambda d=disk: d.degraded_factor
+                )
+            wal = getattr(node, "wal", None)
+            if wal is not None:
+                base = f"{p}node.{name}.wal"
+                reg.gauge(f"{base}.appended", lambda w=wal: w.appended)
+                reg.gauge(f"{base}.removed", lambda w=wal: w.removed)
+                reg.gauge(f"{base}.torn_records", lambda w=wal: w.torn_records)
+                reg.gauge(f"{base}.lost_records", lambda w=wal: w.lost_records)
+                reg.gauge(
+                    f"{base}.resurrected_records",
+                    lambda w=wal: w.resurrected_records,
+                )
+            if hasattr(node, "failslow"):
+                reg.gauge(
+                    f"{p}node.{name}.failslow", lambda n=node: int(n.failslow)
+                )
         switches = []
         core = getattr(cluster, "switch", None)
         if core is not None:

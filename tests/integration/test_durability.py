@@ -1,0 +1,139 @@
+"""Acked-durability regression tests (DESIGN.md §5k).
+
+The contract the durability chaos cells enforce at scale, pinned here as
+directed single-node scenarios: once a put has been acknowledged to the
+client, a power loss on any replica must not lose the value — the node
+rebuilds it on restart from the durable image plus WAL replay.
+"""
+
+from repro.core import ClusterConfig, NiceCluster
+
+
+def make_cluster(**kw):
+    defaults = dict(n_storage_nodes=6, n_clients=1, replication_level=3)
+    defaults.update(kw)
+    cluster = NiceCluster(ClusterConfig(**defaults))
+    cluster.warm_up()
+    return cluster
+
+
+def replica_set_of(cluster, key):
+    part = cluster.uni_vring.subgroup_of_key(key)
+    return cluster.partition_map.get(part)
+
+
+def test_acked_put_survives_replica_power_loss():
+    """Power-fail every replica the instant the client ack lands; the
+    committed value must survive the cold restarts.  This is the put-path
+    audit: the ack implies the log record was forced on R replicas, so
+    replay re-commits it even though the object writes and the −L were
+    still volatile."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "precious"
+    rs = replica_set_of(cluster, key)
+    members = list(rs.members)
+    out = {}
+
+    def driver(sim):
+        r = yield client.put(key, "v-acked", 100, max_retries=0)
+        out["put"] = r
+        # The instant the ack returns: power loss on the whole replica
+        # set, before any background flush can widen the durable image.
+        for name in members:
+            cluster.nodes[name].crash(power_loss=True)
+        yield sim.timeout(3.0)  # metadata notices the outage
+        for proc in [cluster.nodes[n].restart() for n in members]:
+            yield proc
+        yield sim.timeout(2.0)  # reconciliation + catch-up settle
+        g = yield client.get(key)
+        out["get"] = g
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=60.0)
+
+    assert out["put"].ok
+    assert out["get"].ok and out["get"].value == "v-acked"
+    restored = [n for n in members if cluster.nodes[n].store.get(key)]
+    assert restored, "no replica rebuilt the acked value"
+    for name in restored:
+        node = cluster.nodes[name]
+        assert node.store.get(key).value == "v-acked"
+        assert node.cold_restarts.value == 1
+    # At least one replica had to recover the value from its log (the
+    # object write/−L were volatile when the power died).
+    assert any(cluster.nodes[n].replayed_commits.value > 0 for n in members)
+
+
+def test_acked_put_survives_single_secondary_power_loss():
+    """One secondary loses power right after the ack; after restart it
+    holds the value again (log replay or primary catch-up)."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "solo-victim"
+    rs = replica_set_of(cluster, key)
+    victim = next(n for n in rs.members if n != rs.primary)
+    out = {}
+
+    def driver(sim):
+        r = yield client.put(key, "v1", 100, max_retries=0)
+        out["put"] = r
+        cluster.nodes[victim].crash(power_loss=True)
+        yield sim.timeout(3.0)
+        yield cluster.nodes[victim].restart()
+        yield sim.timeout(2.0)
+        out["get"] = yield client.get(key)
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=60.0)
+
+    assert out["put"].ok
+    assert out["get"].ok and out["get"].value == "v1"
+    obj = cluster.nodes[victim].store.get(key)
+    assert obj is not None and obj.value == "v1"
+
+
+def test_unacked_put_may_vanish_but_cluster_stays_consistent():
+    """The converse scenario: power dies mid-put (before the ack).  The
+    op may commit or abort — either is legal — but after restart all live
+    replicas must agree and the client must see a coherent result."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    key = "limbo-power"
+    rs = replica_set_of(cluster, key)
+    members = list(rs.members)
+    primary = cluster.nodes[rs.primary]
+    out = {}
+
+    # Kill the power on the whole replica set at the timestamp multicast
+    # — the client can never have been acked.
+    orig_send_ctrl = primary.mc_sender.send_ctrl
+
+    def blackout(*args, **kwargs):
+        for name in members:
+            cluster.nodes[name].crash(power_loss=True)
+
+    primary.mc_sender.send_ctrl = blackout
+
+    def driver(sim):
+        r = yield client.put(key, "maybe", 100, max_retries=0)
+        out["put"] = r
+        yield sim.timeout(3.0)
+        primary.mc_sender.send_ctrl = orig_send_ctrl
+        for proc in [cluster.nodes[n].restart() for n in members]:
+            yield proc
+        yield sim.timeout(2.0)
+        out["get"] = yield client.get(key)
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=60.0)
+
+    assert not out["put"].ok  # the ack never reached the client
+    values = {
+        cluster.nodes[n].store.get(key).value
+        for n in members
+        if cluster.nodes[n].store.get(key) is not None
+    }
+    assert len(values) <= 1, f"replicas diverge after restart: {values}"
+    if out["get"].ok and out["get"].value is not None:
+        assert out["get"].value == "maybe"
